@@ -1,0 +1,76 @@
+//! Criterion benches for the statistical fitting pipeline, plus the
+//! KS-vs-AIC model-selection ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keddah_stat::distributions::{Distribution, LogNormal, Weibull};
+use keddah_stat::fit::{fit_all, fit_select, Candidate, Selection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn draw(n: usize, seed: u64) -> Vec<f64> {
+    let d = LogNormal::new(14.0, 0.8).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+/// Full candidate sweep cost vs sample size.
+fn bench_fit_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_all");
+    for &n in &[100usize, 1_000, 10_000] {
+        let xs = draw(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| fit_all(black_box(xs), Candidate::POSITIVE).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+/// Single-family MLE costs (the Newton-iteration families are the
+/// expensive ones).
+fn bench_mle(c: &mut Criterion) {
+    let xs = draw(5_000, 2);
+    c.bench_function("mle/weibull_5000", |b| {
+        b.iter(|| Weibull::fit_mle(black_box(&xs)).expect("fits"))
+    });
+    c.bench_function("mle/lognormal_5000", |b| {
+        b.iter(|| LogNormal::fit_mle(black_box(&xs)).expect("fits"))
+    });
+}
+
+/// Ablation: how often KS-based and AIC-based selection disagree, and
+/// their relative cost. Disagreement rate is printed once; criterion
+/// measures cost.
+fn bench_selection_ablation(c: &mut Criterion) {
+    // Report the disagreement rate across 50 mixed-truth samples.
+    let mut disagreements = 0;
+    for seed in 0..50u64 {
+        let xs = if seed % 2 == 0 {
+            draw(800, seed)
+        } else {
+            let d = Weibull::new(1.3, 2e6).expect("valid params");
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..800).map(|_| d.sample(&mut rng)).collect()
+        };
+        let by_ks = fit_select(&xs, Candidate::POSITIVE, Selection::KsStatistic).expect("fits");
+        let by_aic = fit_select(&xs, Candidate::POSITIVE, Selection::Aic).expect("fits");
+        if by_ks.dist.name() != by_aic.dist.name() {
+            disagreements += 1;
+        }
+    }
+    println!("[ablation] KS vs AIC selection disagreement: {disagreements}/50 samples");
+
+    let xs = draw(1_000, 3);
+    c.bench_function("selection/ks", |b| {
+        b.iter(|| fit_select(black_box(&xs), Candidate::POSITIVE, Selection::KsStatistic))
+    });
+    c.bench_function("selection/aic", |b| {
+        b.iter(|| fit_select(black_box(&xs), Candidate::POSITIVE, Selection::Aic))
+    });
+    c.bench_function("selection/anderson_darling", |b| {
+        b.iter(|| fit_select(black_box(&xs), Candidate::POSITIVE, Selection::AndersonDarling))
+    });
+}
+
+criterion_group!(benches, bench_fit_all, bench_mle, bench_selection_ablation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 4 \[R\]: flow size CDFs per component, empirical vs fitted.
+//!
+//! For TeraSort and WordCount at 8 GiB (30 pooled runs): the empirical
+//! flow-size CDF of each data component next to the CDF of the best
+//! fitted family at fixed quantiles, with the winning family and KS
+//! distance. This is the figure that justifies modelling each component
+//! with its own parametric family.
+
+use keddah_bench::{default_config, gib, heading, testbed};
+use keddah_core::dataset::Dataset;
+use keddah_core::fitting::fit_model;
+use keddah_core::pipeline::Keddah;
+use keddah_flowcap::Component;
+use keddah_hadoop::{JobSpec, Workload};
+use keddah_stat::distributions::Distribution;
+use keddah_stat::Ecdf;
+
+const QUANTILES: &[f64] = &[0.05, 0.25, 0.5, 0.75, 0.9, 0.99];
+
+fn main() {
+    heading("Figure 4: flow-size CDFs, empirical vs fitted (8 GiB, 30 runs)");
+    let cluster = testbed();
+    let config = default_config();
+    for workload in [Workload::TeraSort, Workload::WordCount] {
+        let traces = Keddah::capture(
+            &cluster,
+            &config,
+            &JobSpec::new(workload, gib(8)),
+            30,
+            200,
+        );
+        let dataset = Dataset::from_traces(&traces);
+        let model = fit_model(&dataset).expect("workload models");
+        println!("\n--- {} ---", workload.name());
+        for &component in Component::DATA {
+            let Some(sample) = dataset.component(component) else {
+                continue;
+            };
+            let Some(cm) = model.component(component) else {
+                println!("{:<10} too few flows to model", component.name());
+                continue;
+            };
+            let ecdf = Ecdf::new(sample.sizes.clone()).expect("non-empty sample");
+            println!(
+                "{:<10} n={:<6} best fit: {}  (KS = {:.3}, p = {:.3})",
+                component.name(),
+                ecdf.len(),
+                cm.size_dist,
+                cm.size_fit.ks_statistic,
+                cm.size_fit.ks_p_value
+            );
+            println!(
+                "  {:>6} {:>14} {:>14}",
+                "q", "empirical", "fitted"
+            );
+            for &q in QUANTILES {
+                println!(
+                    "  {:>6.2} {:>14.0} {:>14.0}",
+                    q,
+                    ecdf.quantile(q),
+                    cm.size_dist.quantile(q)
+                );
+            }
+        }
+    }
+    println!(
+        "\nPaper shape: per-component empirical and fitted quantiles track each\n\
+         other closely; shuffle sizes are well described by a heavy-ish-tailed\n\
+         family, HDFS transfers cluster near the block size."
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 1 \[R\]: the evaluation's workload matrix.
+//!
+//! Lists every job type with its data-flow profile and the sweep
+//! dimensions of the capture campaign, plus one measured capture per
+//! workload at the reference point (2 GiB, 8 reducers, replication 3) to
+//! ground the matrix in observed traffic.
+
+use keddah_bench::{default_config, fmt_bytes, gib, heading, testbed};
+use keddah_hadoop::{run_job, JobSpec, Workload};
+
+fn main() {
+    heading("Table 1: workload matrix");
+    println!(
+        "sweeps: input {{1, 2, 4, 8, 16}} GiB x reducers {{4, 8, 16}} x replication {{1, 2, 3}}"
+    );
+    println!("testbed: 20 workers in 4 racks + master, 1 Gb/s NICs\n");
+    println!(
+        "{:<10} {:>8} {:>8} {:>6} {:>6} | {:>8} {:>12} {:>10}",
+        "workload", "map sel", "red sel", "iters", "maps", "flows", "wire bytes", "makespan"
+    );
+
+    let cluster = testbed();
+    let config = default_config();
+    for &workload in Workload::ALL {
+        let profile = workload.profile();
+        let job = JobSpec::new(workload, gib(2));
+        let run = run_job(&cluster, &config, &job, 1);
+        let maps_per_round = gib(2).div_ceil(config.block_bytes);
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>6} {:>6} | {:>8} {:>12} {:>9.1}s",
+            workload.name(),
+            profile.map_selectivity,
+            profile.reduce_selectivity,
+            profile.iterations,
+            maps_per_round,
+            run.trace.len(),
+            fmt_bytes(run.trace.total_bytes() as f64),
+            run.duration.as_secs_f64()
+        );
+    }
+    println!(
+        "\nPaper shape: TeraSort/PageRank are network-heavy; Grep/KMeans move\n\
+         little data; iterative jobs repeat per-round traffic."
+    );
+}

@@ -1,0 +1,199 @@
+//! Extraction of model-ready samples from capture traces.
+//!
+//! The fitting step does not consume raw traces: it consumes, per traffic
+//! component, the three sample sets Keddah models — flow sizes, flow
+//! start times (relative to job start), and per-job flow counts — pooled
+//! over repeated runs of the same job configuration.
+
+use std::collections::BTreeMap;
+
+use keddah_flowcap::{Component, Trace};
+
+/// Samples for one traffic component, pooled over runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ComponentSample {
+    /// Flow sizes in bytes (both directions summed), one per flow.
+    pub sizes: Vec<f64>,
+    /// Flow start times in seconds from each run's first flow.
+    pub starts: Vec<f64>,
+    /// Flows per job, one entry per run.
+    pub counts: Vec<f64>,
+}
+
+impl ComponentSample {
+    /// Total bytes across all pooled flows.
+    #[must_use]
+    pub fn total_bytes(&self) -> f64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Mean flows per job.
+    #[must_use]
+    pub fn mean_count(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.counts.iter().sum::<f64>() / self.counts.len() as f64
+        }
+    }
+}
+
+/// The model-ready view of one job configuration: per-component samples
+/// plus job-level covariates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Workload name from the trace metadata.
+    pub workload: String,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Configured reducer count.
+    pub reducers: u32,
+    /// HDFS replication factor.
+    pub replication: u16,
+    /// HDFS block size.
+    pub block_bytes: u64,
+    /// Worker node count.
+    pub nodes: u32,
+    /// Number of pooled runs.
+    pub runs: usize,
+    /// Job makespans in seconds, one per run.
+    pub makespans: Vec<f64>,
+    /// Per-component pooled samples.
+    pub components: BTreeMap<Component, ComponentSample>,
+}
+
+impl Dataset {
+    /// Builds a dataset from repeated captures of the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the traces disagree on workload —
+    /// pooling across different jobs would produce a meaningless model.
+    #[must_use]
+    pub fn from_traces(traces: &[Trace]) -> Dataset {
+        assert!(!traces.is_empty(), "dataset needs at least one trace");
+        let meta = traces[0].meta().clone();
+        for t in traces {
+            assert_eq!(
+                t.meta().workload,
+                meta.workload,
+                "cannot pool traces of different workloads"
+            );
+        }
+        let mut components: BTreeMap<Component, ComponentSample> = BTreeMap::new();
+        let mut makespans = Vec::with_capacity(traces.len());
+        for trace in traces {
+            makespans.push(trace.makespan().as_secs_f64());
+            for &component in Component::ALL {
+                let sizes = trace.component_sizes(component);
+                let starts = trace.component_starts(component);
+                let entry = components.entry(component).or_default();
+                entry.counts.push(sizes.len() as f64);
+                entry.sizes.extend(sizes);
+                entry.starts.extend(starts);
+            }
+        }
+        // Drop components that never appeared.
+        components.retain(|_, s| !s.sizes.is_empty());
+        Dataset {
+            workload: meta.workload,
+            input_bytes: meta.input_bytes,
+            reducers: meta.reducers,
+            replication: meta.replication,
+            block_bytes: meta.block_bytes,
+            nodes: meta.nodes,
+            runs: traces.len(),
+            makespans,
+            components,
+        }
+    }
+
+    /// The pooled sample for one component, if it appeared in the traces.
+    #[must_use]
+    pub fn component(&self, component: Component) -> Option<&ComponentSample> {
+        self.components.get(&component)
+    }
+
+    /// Mean makespan over runs, seconds.
+    #[must_use]
+    pub fn mean_makespan(&self) -> f64 {
+        self.makespans.iter().sum::<f64>() / self.makespans.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keddah_des::SimTime;
+    use keddah_flowcap::{FiveTuple, FlowRecord, NodeId, TraceMeta};
+
+    fn trace(workload: &str, n_shuffle: usize) -> Trace {
+        let flows: Vec<FlowRecord> = (0..n_shuffle)
+            .map(|i| FlowRecord {
+                tuple: FiveTuple {
+                    src: NodeId(1),
+                    src_port: 40_000 + i as u16,
+                    dst: NodeId(2),
+                    dst_port: 13_562,
+                },
+                start: SimTime::from_secs(i as u64),
+                end: SimTime::from_secs(i as u64 + 1),
+                fwd_bytes: 100,
+                rev_bytes: 1000 * (i as u64 + 1),
+                packets: 2,
+                component: Some(Component::Shuffle),
+            })
+            .collect();
+        Trace::new(
+            TraceMeta {
+                workload: workload.into(),
+                input_bytes: 1 << 30,
+                reducers: 4,
+                replication: 3,
+                block_bytes: 128 << 20,
+                nodes: 8,
+                seed: 0,
+            },
+            flows,
+        )
+    }
+
+    #[test]
+    fn pools_across_runs() {
+        let ds = Dataset::from_traces(&[trace("terasort", 3), trace("terasort", 5)]);
+        assert_eq!(ds.runs, 2);
+        let shuffle = ds.component(Component::Shuffle).unwrap();
+        assert_eq!(shuffle.sizes.len(), 8);
+        assert_eq!(shuffle.counts, vec![3.0, 5.0]);
+        assert_eq!(shuffle.mean_count(), 4.0);
+        assert_eq!(ds.makespans.len(), 2);
+        assert!(ds.component(Component::HdfsRead).is_none());
+    }
+
+    #[test]
+    fn starts_are_run_relative() {
+        let ds = Dataset::from_traces(&[trace("terasort", 3)]);
+        let shuffle = ds.component(Component::Shuffle).unwrap();
+        assert_eq!(shuffle.starts, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn covariates_come_from_meta() {
+        let ds = Dataset::from_traces(&[trace("wordcount", 1)]);
+        assert_eq!(ds.workload, "wordcount");
+        assert_eq!(ds.reducers, 4);
+        assert_eq!(ds.nodes, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different workloads")]
+    fn rejects_mixed_workloads() {
+        let _ = Dataset::from_traces(&[trace("terasort", 1), trace("grep", 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn rejects_empty() {
+        let _ = Dataset::from_traces(&[]);
+    }
+}

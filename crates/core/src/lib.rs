@@ -1,0 +1,119 @@
+//! Keddah: capture, model, and reproduce Hadoop network traffic.
+//!
+//! This crate is the paper's contribution — the toolchain that turns
+//! captured Hadoop traffic into empirical models and regenerates
+//! statistically equivalent traffic for network-simulator studies:
+//!
+//! 1. **Capture** ([`pipeline::Keddah::capture`]) — run jobs on the
+//!    simulated testbed (`keddah-hadoop`) and collect classified flow
+//!    traces;
+//! 2. **Model** ([`fitting`]) — pool repeated runs into a [`dataset`],
+//!    fit per-component flow-size / arrival / count models with KS-based
+//!    family selection, producing a serializable [`model::KeddahModel`];
+//! 3. **Generate** ([`generate`]) — sample synthetic jobs from the model;
+//! 4. **Replay** ([`replay`]) — drive captured or generated traffic
+//!    through the flow-level network simulator (`keddah-netsim`);
+//! 5. **Validate** ([`validate`]) — compare generated traffic to
+//!    held-out captures (two-sample KS, volume and count errors).
+//!
+//! # Examples
+//!
+//! ```
+//! use keddah_core::pipeline::Keddah;
+//! use keddah_core::replay::{replay_jobs};
+//! use keddah_hadoop::{ClusterSpec, HadoopConfig, JobSpec, Workload};
+//! use keddah_netsim::{SimOptions, Topology};
+//!
+//! // Capture and model a TeraSort.
+//! let cluster = ClusterSpec::racks(2, 4);
+//! let traces = Keddah::capture(
+//!     &cluster,
+//!     &HadoopConfig::default(),
+//!     &JobSpec::new(Workload::TeraSort, 1 << 30),
+//!     2,
+//!     1,
+//! );
+//! let model = Keddah::fit(&traces).unwrap();
+//!
+//! // Generate a synthetic job and replay it on a 4x-oversubscribed
+//! // leaf-spine fabric the physical testbed never had.
+//! let job = model.generate_job(7);
+//! let topo = Topology::leaf_spine(3, 3, 2, 1e9, 4.0);
+//! let report = replay_jobs(&[job], &topo, SimOptions::default()).unwrap();
+//! assert!(report.makespan_secs() > 0.0);
+//! ```
+
+pub mod dataset;
+pub mod family;
+pub mod fitting;
+pub mod generate;
+pub mod mix;
+pub mod model;
+pub mod pipeline;
+pub mod replay;
+pub mod validate;
+
+pub use dataset::Dataset;
+pub use family::ModelFamily;
+pub use generate::{GenFlow, GeneratedJob};
+pub use mix::{JobMix, MixEntry};
+pub use model::KeddahModel;
+pub use pipeline::Keddah;
+pub use validate::ValidationReport;
+
+use std::fmt;
+
+/// Errors produced by the Keddah toolchain.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A statistical routine failed (empty/degenerate samples, fit
+    /// divergence).
+    Stat(keddah_stat::StatError),
+    /// Not enough data to perform the requested step; the message names
+    /// what was missing.
+    InsufficientData {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// Replay target has fewer hosts than the traffic references.
+    TopologyTooSmall {
+        /// Hosts the traffic needs.
+        needed: u32,
+        /// Hosts the topology provides.
+        available: u32,
+    },
+    /// Model (de)serialization failed.
+    Json(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stat(e) => write!(f, "statistics error: {e}"),
+            CoreError::InsufficientData { what } => write!(f, "insufficient data: {what}"),
+            CoreError::TopologyTooSmall { needed, available } => write!(
+                f,
+                "topology too small: traffic references host {needed} but only {available} hosts exist"
+            ),
+            CoreError::Json(msg) => write!(f, "model serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stat(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<keddah_stat::StatError> for CoreError {
+    fn from(e: keddah_stat::StatError) -> Self {
+        CoreError::Stat(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,241 @@
+//! Replaying traffic — captured or generated — in the network simulator.
+//!
+//! The "for use with network simulators" half of the toolchain: adapters
+//! that turn a capture [`Trace`] or a [`GeneratedJob`] into
+//! [`keddah_netsim`] flow specs, run the fluid simulation on a chosen
+//! topology, and split the resulting flow completion times back out by
+//! traffic component.
+
+use std::collections::BTreeMap;
+
+use keddah_des::SimTime;
+use keddah_flowcap::{Component, Trace};
+use keddah_netsim::{simulate, FlowSpec, HostId, SimOptions, SimReport, Topology};
+
+use crate::generate::GeneratedJob;
+use crate::{CoreError, Result};
+
+/// Completion statistics of one replay, split by component.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Flow completion times in seconds, per component.
+    pub fct_by_component: BTreeMap<Component, Vec<f64>>,
+    /// The raw simulator report.
+    pub sim: SimReport,
+}
+
+impl ReplayReport {
+    /// All flow completion times, in flow order.
+    #[must_use]
+    pub fn all_fcts(&self) -> Vec<f64> {
+        self.sim.fcts()
+    }
+
+    /// Replay makespan in seconds.
+    #[must_use]
+    pub fn makespan_secs(&self) -> f64 {
+        self.sim.makespan().as_secs_f64()
+    }
+}
+
+/// Encodes a component into the netsim `tag` field and back.
+fn tag_of(component: Component) -> u32 {
+    Component::ALL
+        .iter()
+        .position(|&c| c == component)
+        .expect("component in ALL") as u32
+}
+
+fn component_of(tag: u32) -> Component {
+    Component::ALL[tag as usize]
+}
+
+/// Converts a capture trace into flow specs (node *n* maps to host *n*;
+/// node 0, the master, must exist in the topology too).
+///
+/// # Errors
+///
+/// Returns [`CoreError::TopologyTooSmall`] if any flow endpoint exceeds
+/// the topology's host count.
+pub fn trace_to_flows(trace: &Trace, topo: &Topology) -> Result<Vec<FlowSpec>> {
+    let t0 = trace
+        .flows()
+        .iter()
+        .map(|f| f.start)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    trace
+        .flows()
+        .iter()
+        .map(|f| {
+            let (src, dst) = (f.tuple.src.0, f.tuple.dst.0);
+            check_host(src.max(dst), topo)?;
+            Ok(FlowSpec {
+                src: HostId(src),
+                dst: HostId(dst),
+                bytes: f.total_bytes(),
+                start: SimTime::from_nanos(f.start.as_nanos() - t0.as_nanos()),
+                tag: tag_of(f.component.unwrap_or(Component::Other)),
+            })
+        })
+        .collect()
+}
+
+/// Converts generated jobs into flow specs (flows of all jobs merged).
+///
+/// # Errors
+///
+/// Returns [`CoreError::TopologyTooSmall`] if the jobs assume more nodes
+/// than the topology has hosts.
+pub fn jobs_to_flows(jobs: &[GeneratedJob], topo: &Topology) -> Result<Vec<FlowSpec>> {
+    let mut specs = Vec::new();
+    for job in jobs {
+        check_host(job.nodes, topo)?;
+        for f in &job.flows {
+            specs.push(FlowSpec {
+                src: HostId(f.src),
+                dst: HostId(f.dst),
+                bytes: f.bytes,
+                start: SimTime::from_secs_f64(f.start),
+                tag: tag_of(f.component),
+            });
+        }
+    }
+    specs.sort_by_key(|s| s.start);
+    Ok(specs)
+}
+
+fn check_host(node: u32, topo: &Topology) -> Result<()> {
+    if node >= topo.host_count() {
+        return Err(CoreError::TopologyTooSmall {
+            needed: node + 1,
+            available: topo.host_count(),
+        });
+    }
+    Ok(())
+}
+
+/// Replays flow specs on a topology and splits completions by component.
+#[must_use]
+pub fn replay(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> ReplayReport {
+    let sim = simulate(topo, flows, options);
+    let mut fct_by_component: BTreeMap<Component, Vec<f64>> = BTreeMap::new();
+    for r in &sim.results {
+        fct_by_component
+            .entry(component_of(r.spec.tag))
+            .or_default()
+            .push(r.fct().as_secs_f64());
+    }
+    ReplayReport {
+        fct_by_component,
+        sim,
+    }
+}
+
+/// Convenience: replay a capture trace end to end.
+///
+/// # Errors
+///
+/// As [`trace_to_flows`].
+pub fn replay_trace(
+    trace: &Trace,
+    topo: &Topology,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let flows = trace_to_flows(trace, topo)?;
+    Ok(replay(topo, &flows, options))
+}
+
+/// Convenience: replay generated jobs end to end.
+///
+/// # Errors
+///
+/// As [`jobs_to_flows`].
+pub fn replay_jobs(
+    jobs: &[GeneratedJob],
+    topo: &Topology,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let flows = jobs_to_flows(jobs, topo)?;
+    Ok(replay(topo, &flows, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GenFlow;
+
+    fn job() -> GeneratedJob {
+        GeneratedJob {
+            nodes: 4,
+            makespan: 10.0,
+            flows: vec![
+                GenFlow {
+                    src: 1,
+                    dst: 2,
+                    bytes: 1 << 20,
+                    start: 0.0,
+                    component: Component::Shuffle,
+                },
+                GenFlow {
+                    src: 3,
+                    dst: 0,
+                    bytes: 500,
+                    start: 1.0,
+                    component: Component::Control,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn generated_jobs_replay() {
+        let topo = Topology::star(5, 1e9);
+        let report = replay_jobs(&[job()], &topo, SimOptions::default()).unwrap();
+        assert_eq!(report.sim.results.len(), 2);
+        assert_eq!(report.fct_by_component[&Component::Shuffle].len(), 1);
+        assert_eq!(report.fct_by_component[&Component::Control].len(), 1);
+        assert!(report.makespan_secs() > 0.0);
+    }
+
+    #[test]
+    fn small_topology_rejected() {
+        let topo = Topology::star(2, 1e9);
+        let err = replay_jobs(&[job()], &topo, SimOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::TopologyTooSmall { .. }));
+        assert!(err.to_string().contains("host"));
+    }
+
+    #[test]
+    fn tags_roundtrip_components() {
+        for &c in Component::ALL {
+            assert_eq!(component_of(tag_of(c)), c);
+        }
+    }
+
+    #[test]
+    fn trace_replay_shifts_to_zero() {
+        use keddah_des::SimTime;
+        use keddah_flowcap::{FiveTuple, FlowRecord, NodeId, TraceMeta};
+        let flows = vec![FlowRecord {
+            tuple: FiveTuple {
+                src: NodeId(1),
+                src_port: 40_000,
+                dst: NodeId(2),
+                dst_port: 13_562,
+            },
+            start: SimTime::from_secs(100),
+            end: SimTime::from_secs(101),
+            fwd_bytes: 1 << 20,
+            rev_bytes: 0,
+            packets: 1,
+            component: Some(Component::Shuffle),
+        }];
+        let trace = Trace::new(TraceMeta::default(), flows);
+        let topo = Topology::star(3, 1e9);
+        let specs = trace_to_flows(&trace, &topo).unwrap();
+        assert_eq!(specs[0].start, SimTime::ZERO);
+        let report = replay(&topo, &specs, SimOptions::default());
+        assert_eq!(report.fct_by_component[&Component::Shuffle].len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Model validation: generated traffic vs. captured traffic.
+//!
+//! Keddah validates its models by regenerating traffic and comparing it
+//! against held-out captures: per component, the two-sample KS distance
+//! between flow-size samples, and the relative error of total volume and
+//! flow count. This module produces that comparison (the evaluation's
+//! Table 3).
+
+use std::collections::BTreeMap;
+
+use keddah_flowcap::{Component, Trace};
+use keddah_stat::ks::ks_two_sample;
+use serde::{Deserialize, Serialize};
+
+use crate::generate::GeneratedJob;
+use crate::model::KeddahModel;
+use crate::{CoreError, Result};
+
+/// The comparison for one traffic component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentValidation {
+    /// The component compared.
+    pub component: Component,
+    /// Two-sample KS distance between captured and generated flow sizes.
+    pub ks_statistic: f64,
+    /// Asymptotic p-value of that KS test.
+    pub ks_p_value: f64,
+    /// `|generated - captured| / captured` for total bytes.
+    pub volume_error: f64,
+    /// `|generated - captured| / captured` for flow count (means per
+    /// job).
+    pub count_error: f64,
+    /// Captured flows per job (mean).
+    pub captured_count: f64,
+    /// Generated flows per job (mean).
+    pub generated_count: f64,
+}
+
+/// A full validation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Per-component comparisons, in canonical component order.
+    pub components: Vec<ComponentValidation>,
+}
+
+impl ValidationReport {
+    /// The comparison row for one component, if both sides had flows.
+    #[must_use]
+    pub fn component(&self, component: Component) -> Option<&ComponentValidation> {
+        self.components.iter().find(|c| c.component == component)
+    }
+
+    /// The worst (largest) per-component KS distance.
+    #[must_use]
+    pub fn worst_ks(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.ks_statistic)
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst per-component volume error.
+    #[must_use]
+    pub fn worst_volume_error(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.volume_error)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Validates a model by generating `generated_jobs` synthetic jobs and
+/// comparing them, per component, against the captured traces.
+///
+/// Only components present in the model are compared (the model already
+/// skipped negligible ones).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InsufficientData`] if `traces` is empty or no
+/// component could be compared.
+pub fn validate_model(
+    model: &KeddahModel,
+    traces: &[Trace],
+    generated_jobs: u32,
+    seed: u64,
+) -> Result<ValidationReport> {
+    if traces.is_empty() {
+        return Err(CoreError::InsufficientData {
+            what: "validation needs at least one capture trace",
+        });
+    }
+    let jobs: Vec<GeneratedJob> = (0..generated_jobs)
+        .map(|i| model.generate_job(seed + u64::from(i)))
+        .collect();
+
+    // Pool captured and generated sizes per component.
+    let mut captured: BTreeMap<Component, Vec<f64>> = BTreeMap::new();
+    for trace in traces {
+        for &c in Component::ALL {
+            captured
+                .entry(c)
+                .or_default()
+                .extend(trace.component_sizes(c));
+        }
+    }
+    let mut generated: BTreeMap<Component, Vec<f64>> = BTreeMap::new();
+    for job in &jobs {
+        for &c in Component::ALL {
+            generated
+                .entry(c)
+                .or_default()
+                .extend(job.component_sizes(c));
+        }
+    }
+
+    let mut components = Vec::new();
+    for &component in Component::ALL {
+        if model.component(component).is_none() {
+            continue;
+        }
+        let cap = &captured[&component];
+        let gen = &generated[&component];
+        if cap.is_empty() || gen.is_empty() {
+            continue;
+        }
+        let ks = ks_two_sample(cap, gen).map_err(CoreError::Stat)?;
+        let cap_vol: f64 = cap.iter().sum::<f64>() / traces.len() as f64;
+        let gen_vol: f64 = gen.iter().sum::<f64>() / jobs.len() as f64;
+        let cap_count = cap.len() as f64 / traces.len() as f64;
+        let gen_count = gen.len() as f64 / jobs.len() as f64;
+        components.push(ComponentValidation {
+            component,
+            ks_statistic: ks.statistic,
+            ks_p_value: ks.p_value,
+            volume_error: (gen_vol - cap_vol).abs() / cap_vol.max(1.0),
+            count_error: (gen_count - cap_count).abs() / cap_count.max(1.0),
+            captured_count: cap_count,
+            generated_count: gen_count,
+        });
+    }
+    if components.is_empty() {
+        return Err(CoreError::InsufficientData {
+            what: "no component present in both captured and generated traffic",
+        });
+    }
+    Ok(ValidationReport { components })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::fitting::fit_model;
+    use keddah_des::SimTime;
+    use keddah_flowcap::{FiveTuple, FlowRecord, NodeId, TraceMeta};
+    use keddah_stat::distributions::{Distribution, LogNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A synthetic capture whose shuffle sizes follow a known lognormal.
+    fn synthetic_trace(seed: u64, n: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = LogNormal::new(14.0, 0.6).unwrap();
+        let flows: Vec<FlowRecord> = (0..n)
+            .map(|i| {
+                let bytes = d.sample(&mut rng) as u64;
+                FlowRecord {
+                    tuple: FiveTuple {
+                        src: NodeId(1 + (i as u32 % 7)),
+                        src_port: 40_000 + i as u16,
+                        dst: NodeId(8),
+                        dst_port: 13_562,
+                    },
+                    start: SimTime::from_millis((i as u64) * 400),
+                    end: SimTime::from_millis((i as u64) * 400 + 300),
+                    fwd_bytes: 0,
+                    rev_bytes: bytes,
+                    packets: 3,
+                    component: Some(Component::Shuffle),
+                }
+            })
+            .collect();
+        Trace::new(
+            TraceMeta {
+                workload: "terasort".into(),
+                input_bytes: 1 << 30,
+                reducers: 4,
+                replication: 3,
+                block_bytes: 128 << 20,
+                nodes: 8,
+                seed,
+            },
+            flows,
+        )
+    }
+
+    #[test]
+    fn model_validates_against_its_training_data() {
+        let traces: Vec<Trace> = (0..5).map(|s| synthetic_trace(s, 300)).collect();
+        let model = fit_model(&Dataset::from_traces(&traces)).unwrap();
+        let report = validate_model(&model, &traces, 5, 99).unwrap();
+        let shuffle = report.component(Component::Shuffle).unwrap();
+        assert!(
+            shuffle.ks_statistic < 0.1,
+            "KS = {}",
+            shuffle.ks_statistic
+        );
+        assert!(
+            shuffle.volume_error < 0.2,
+            "volume error = {}",
+            shuffle.volume_error
+        );
+        assert!(shuffle.count_error < 0.1, "count error = {}", shuffle.count_error);
+        assert!(report.worst_ks() >= shuffle.ks_statistic);
+        assert!(report.worst_volume_error() >= 0.0);
+    }
+
+    #[test]
+    fn mismatched_model_scores_poorly() {
+        let traces: Vec<Trace> = (0..3).map(|s| synthetic_trace(s, 300)).collect();
+        let model = fit_model(&Dataset::from_traces(&traces)).unwrap();
+        // Validate against traces with 20x larger flows: KS must blow up.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let big = LogNormal::new(17.0, 0.6).unwrap();
+        let wrong: Vec<Trace> = (0..3)
+            .map(|s| {
+                let mut t = synthetic_trace(100 + s, 300);
+                let flows: Vec<FlowRecord> = t
+                    .flows()
+                    .iter()
+                    .map(|f| {
+                        let mut f = *f;
+                        f.rev_bytes = big.sample(&mut rng) as u64;
+                        f
+                    })
+                    .collect();
+                t = Trace::new(t.meta().clone(), flows);
+                t
+            })
+            .collect();
+        let report = validate_model(&model, &wrong, 3, 5).unwrap();
+        assert!(report.worst_ks() > 0.5, "KS = {}", report.worst_ks());
+    }
+
+    #[test]
+    fn empty_traces_error() {
+        let traces: Vec<Trace> = (0..2).map(|s| synthetic_trace(s, 100)).collect();
+        let model = fit_model(&Dataset::from_traces(&traces)).unwrap();
+        assert!(matches!(
+            validate_model(&model, &[], 2, 0),
+            Err(CoreError::InsufficientData { .. })
+        ));
+    }
+}

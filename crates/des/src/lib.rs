@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel shared by the Keddah simulators.
+//!
+//! Both the Hadoop cluster simulator (`keddah-hadoop`) and the flow-level
+//! network simulator (`keddah-netsim`) are discrete-event simulations: a
+//! virtual clock advances from event to event, and each event may schedule
+//! further events. This crate provides the minimal, deterministic kernel
+//! they share:
+//!
+//! * [`SimTime`] — a nanosecond-resolution virtual clock value (newtype over
+//!   `u64` so wall-clock and simulated time can never be confused);
+//! * [`EventQueue`] — a priority queue of `(SimTime, sequence, event)`
+//!   entries with FIFO tie-breaking, which makes simulations byte-for-byte
+//!   reproducible across runs;
+//! * [`Engine`] — a convenience driver that pops events and hands them to a
+//!   handler until the queue drains or a time horizon is reached.
+//!
+//! # Examples
+//!
+//! ```
+//! use keddah_des::{Engine, SimTime};
+//!
+//! // Count ticks at t = 1ms, 2ms, 3ms.
+//! let mut engine: Engine<u32> = Engine::new();
+//! for i in 1..=3u32 {
+//!     engine.schedule(SimTime::from_millis(i as u64), i);
+//! }
+//! let mut seen = Vec::new();
+//! engine.run(|now, ev, _queue| seen.push((now, ev)));
+//! assert_eq!(seen.len(), 3);
+//! assert_eq!(seen[2], (SimTime::from_millis(3), 3));
+//! ```
+
+mod engine;
+mod queue;
+mod time;
+
+pub use engine::Engine;
+pub use queue::{EventQueue, ScheduledEvent};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,223 @@
+//! Port/role-based classification of flows into Hadoop traffic components.
+//!
+//! Keddah decomposes Hadoop traffic into the subsystems that generate it,
+//! because each subsystem has distinct flow statistics and scales with
+//! different job covariates:
+//!
+//! * **HDFS read** — clients (map tasks, the job client) pulling block
+//!   data from DataNodes;
+//! * **HDFS write** — clients pushing block data into DataNodes, *and*
+//!   the replication-pipeline hops between DataNodes;
+//! * **Shuffle** — reducers fetching map-output segments from the
+//!   ShuffleHandler on mapper nodes;
+//! * **Control** — everything on RPC/heartbeat ports: NameNode metadata
+//!   ops, RM/NM heartbeats, AM umbilicals, job submission.
+//!
+//! Classification keys on the responder port first (the Hadoop service
+//! contacted) and uses byte-direction dominance to split HDFS reads from
+//! writes on the shared DataNode transfer port — the same evidence a
+//! tcpdump-based classifier has.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowRecord;
+use crate::ports;
+
+/// The Hadoop traffic components Keddah models.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum Component {
+    /// Block data pulled from a DataNode.
+    HdfsRead,
+    /// Block data pushed to a DataNode (client writes and replication
+    /// pipeline hops).
+    HdfsWrite,
+    /// Reducer fetches of map output.
+    Shuffle,
+    /// RPC, heartbeat and job-management traffic.
+    Control,
+    /// Traffic on no known Hadoop port.
+    Other,
+}
+
+impl Component {
+    /// All components, in the canonical order used by tables and figures.
+    pub const ALL: &'static [Component] = &[
+        Component::HdfsRead,
+        Component::HdfsWrite,
+        Component::Shuffle,
+        Component::Control,
+        Component::Other,
+    ];
+
+    /// The data-plane components (everything the traffic model fits
+    /// distributions for; control traffic is modelled separately as a
+    /// periodic process).
+    pub const DATA: &'static [Component] = &[
+        Component::HdfsRead,
+        Component::HdfsWrite,
+        Component::Shuffle,
+    ];
+
+    /// Short snake_case name used in serialized traces and table rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::HdfsRead => "hdfs_read",
+            Component::HdfsWrite => "hdfs_write",
+            Component::Shuffle => "shuffle",
+            Component::Control => "control",
+            Component::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies a flow into its Hadoop traffic component.
+///
+/// The responder port (`tuple.dst_port`) is the service that was
+/// contacted:
+///
+/// * [`ports::DATANODE_XFER`] — an HDFS transfer; byte-direction
+///   dominance decides read vs write;
+/// * [`ports::SHUFFLE`] — a shuffle fetch;
+/// * any control port — control traffic;
+/// * anything else — [`Component::Other`].
+///
+/// # Examples
+///
+/// ```
+/// use keddah_des::SimTime;
+/// use keddah_flowcap::{classify, Component, FiveTuple, FlowRecord, NodeId, ports};
+///
+/// let read = FlowRecord {
+///     tuple: FiveTuple { src: NodeId(1), src_port: 40000, dst: NodeId(2), dst_port: ports::DATANODE_XFER },
+///     start: SimTime::ZERO,
+///     end: SimTime::from_secs(1),
+///     fwd_bytes: 500,          // request
+///     rev_bytes: 64 << 20,     // block data coming back
+///     packets: 10,
+///     component: None,
+/// };
+/// assert_eq!(classify::classify(&read), Component::HdfsRead);
+/// ```
+#[must_use]
+pub fn classify(flow: &FlowRecord) -> Component {
+    let service_port = flow.tuple.dst_port;
+    if service_port == ports::DATANODE_XFER {
+        if flow.forward_dominant() {
+            Component::HdfsWrite
+        } else {
+            Component::HdfsRead
+        }
+    } else if service_port == ports::SHUFFLE {
+        Component::Shuffle
+    } else if ports::is_control_port(service_port) {
+        Component::Control
+    } else if ports::is_control_port(flow.tuple.src_port) {
+        // Server-initiated control traffic (e.g. RM responses captured as
+        // their own flow by an asymmetric tap).
+        Component::Control
+    } else {
+        Component::Other
+    }
+}
+
+/// Labels every flow in `flows` in place.
+pub fn classify_all(flows: &mut [FlowRecord]) {
+    for flow in flows {
+        flow.component = Some(classify(flow));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FiveTuple;
+    use crate::packet::NodeId;
+    use keddah_des::SimTime;
+
+    fn flow(dst_port: u16, fwd: u64, rev: u64) -> FlowRecord {
+        FlowRecord {
+            tuple: FiveTuple {
+                src: NodeId(1),
+                src_port: 40_000,
+                dst: NodeId(2),
+                dst_port,
+            },
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+            fwd_bytes: fwd,
+            rev_bytes: rev,
+            packets: 2,
+            component: None,
+        }
+    }
+
+    #[test]
+    fn hdfs_direction_split() {
+        assert_eq!(
+            classify(&flow(ports::DATANODE_XFER, 1 << 26, 100)),
+            Component::HdfsWrite
+        );
+        assert_eq!(
+            classify(&flow(ports::DATANODE_XFER, 100, 1 << 26)),
+            Component::HdfsRead
+        );
+    }
+
+    #[test]
+    fn shuffle_port() {
+        assert_eq!(classify(&flow(ports::SHUFFLE, 50, 1 << 20)), Component::Shuffle);
+    }
+
+    #[test]
+    fn control_ports() {
+        for p in [
+            ports::NAMENODE_RPC,
+            ports::RM_TRACKER,
+            ports::AM_UMBILICAL,
+            ports::NM_CONTAINER,
+        ] {
+            assert_eq!(classify(&flow(p, 10, 10)), Component::Control);
+        }
+    }
+
+    #[test]
+    fn reverse_control_flow_is_control() {
+        let mut f = flow(40_001, 10, 10);
+        f.tuple.src_port = ports::RM_SCHEDULER;
+        assert_eq!(classify(&f), Component::Control);
+    }
+
+    #[test]
+    fn unknown_is_other() {
+        assert_eq!(classify(&flow(9_999, 10, 10)), Component::Other);
+    }
+
+    #[test]
+    fn classify_all_labels_everything() {
+        let mut flows = vec![flow(ports::SHUFFLE, 1, 2), flow(9_999, 1, 2)];
+        classify_all(&mut flows);
+        assert_eq!(flows[0].component, Some(Component::Shuffle));
+        assert_eq!(flows[1].component, Some(Component::Other));
+    }
+
+    #[test]
+    fn component_names_are_stable() {
+        // These names appear in serialized traces; changing them breaks
+        // trace compatibility.
+        let names: Vec<&str> = Component::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["hdfs_read", "hdfs_write", "shuffle", "control", "other"]
+        );
+    }
+}

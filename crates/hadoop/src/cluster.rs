@@ -1,0 +1,159 @@
+//! Cluster topology specification.
+
+use keddah_flowcap::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::{HadoopError, Result};
+
+/// The physical layout of the simulated testbed.
+///
+/// Node 0 is the *master* (NameNode + ResourceManager); the remaining
+/// nodes are workers (DataNode + NodeManager), grouped into racks of
+/// `nodes_per_rack`. This mirrors the paper's testbed shape: one master,
+/// a handful of racks of identical workers.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_hadoop::ClusterSpec;
+///
+/// let cluster = ClusterSpec::racks(4, 5); // 4 racks x 5 workers + master
+/// assert_eq!(cluster.worker_count(), 20);
+/// assert_eq!(cluster.rack_of(cluster.workers().next().unwrap()), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of racks of workers.
+    pub racks: u32,
+    /// Workers per rack.
+    pub nodes_per_rack: u32,
+    /// Worker NIC line rate in bits/second (default 1 Gb/s).
+    pub nic_bps: f64,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster of `racks * nodes_per_rack` workers with 1 Gb/s
+    /// NICs plus the master node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; use [`ClusterSpec::validate`]
+    /// for fallible checking of hand-built specs.
+    #[must_use]
+    pub fn racks(racks: u32, nodes_per_rack: u32) -> Self {
+        assert!(racks > 0 && nodes_per_rack > 0, "cluster must be non-empty");
+        ClusterSpec {
+            racks,
+            nodes_per_rack,
+            nic_bps: 1e9,
+        }
+    }
+
+    /// Checks the specification for validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadoopError::InvalidConfig`] if a dimension is zero or
+    /// the NIC rate is not positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.racks == 0 || self.nodes_per_rack == 0 {
+            return Err(HadoopError::InvalidConfig("cluster must be non-empty"));
+        }
+        if !(self.nic_bps > 0.0) {
+            return Err(HadoopError::InvalidConfig("nic_bps must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The master node (NameNode + ResourceManager).
+    #[must_use]
+    pub fn master(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of worker nodes.
+    #[must_use]
+    pub fn worker_count(&self) -> u32 {
+        self.racks * self.nodes_per_rack
+    }
+
+    /// Total nodes including the master.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.worker_count() + 1
+    }
+
+    /// Iterates over worker node ids (1..=worker_count).
+    pub fn workers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..=self.worker_count()).map(NodeId)
+    }
+
+    /// The rack index of a worker node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the master or out of range: racks are a
+    /// property of workers only.
+    #[must_use]
+    pub fn rack_of(&self, node: NodeId) -> u32 {
+        assert!(
+            node.0 >= 1 && node.0 <= self.worker_count(),
+            "{node} is not a worker of this cluster"
+        );
+        (node.0 - 1) / self.nodes_per_rack
+    }
+
+    /// True if two workers share a rack.
+    #[must_use]
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+
+    /// Workers in the given rack.
+    pub fn rack_members(&self, rack: u32) -> impl Iterator<Item = NodeId> + '_ {
+        let first = rack * self.nodes_per_rack + 1;
+        (first..first + self.nodes_per_rack).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = ClusterSpec::racks(3, 4);
+        assert_eq!(c.worker_count(), 12);
+        assert_eq!(c.node_count(), 13);
+        assert_eq!(c.master(), NodeId(0));
+        let workers: Vec<NodeId> = c.workers().collect();
+        assert_eq!(workers.first(), Some(&NodeId(1)));
+        assert_eq!(workers.last(), Some(&NodeId(12)));
+    }
+
+    #[test]
+    fn rack_assignment() {
+        let c = ClusterSpec::racks(2, 3);
+        assert_eq!(c.rack_of(NodeId(1)), 0);
+        assert_eq!(c.rack_of(NodeId(3)), 0);
+        assert_eq!(c.rack_of(NodeId(4)), 1);
+        assert_eq!(c.rack_of(NodeId(6)), 1);
+        assert!(c.same_rack(NodeId(1), NodeId(2)));
+        assert!(!c.same_rack(NodeId(3), NodeId(4)));
+        let rack1: Vec<NodeId> = c.rack_members(1).collect();
+        assert_eq!(rack1, vec![NodeId(4), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a worker")]
+    fn master_has_no_rack() {
+        let _ = ClusterSpec::racks(1, 1).rack_of(NodeId(0));
+    }
+
+    #[test]
+    fn validate_catches_bad_spec() {
+        assert!(ClusterSpec { racks: 0, nodes_per_rack: 1, nic_bps: 1e9 }.validate().is_err());
+        assert!(ClusterSpec { racks: 1, nodes_per_rack: 1, nic_bps: 0.0 }.validate().is_err());
+        ClusterSpec::racks(1, 1).validate().unwrap();
+    }
+}

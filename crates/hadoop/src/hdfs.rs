@@ -1,0 +1,299 @@
+//! HDFS block placement and replica selection.
+//!
+//! Implements the behaviour that shapes HDFS traffic:
+//!
+//! * **Placement** of input data blocks across DataNodes (balanced
+//!   round-robin over a seeded random permutation, replicas following the
+//!   default rack-aware policy);
+//! * **Replica selection** for reads (node-local replica preferred, then
+//!   rack-local, then any — the locality ladder that decides whether a map
+//!   task produces network traffic at all);
+//! * **Write pipelines** (first replica on the writer's node, second on a
+//!   different rack, third on the second replica's rack), which generate
+//!   the inter-DataNode replication flows Keddah labels HDFS write.
+
+use keddah_flowcap::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+
+use crate::cluster::ClusterSpec;
+
+/// A stored HDFS block: its size and the DataNodes holding replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block payload size in bytes (the final block of a file may be
+    /// short).
+    pub bytes: u64,
+    /// Replica locations; `replicas[0]` is the primary (first-written).
+    pub replicas: Vec<NodeId>,
+}
+
+/// The NameNode's view of stored files, plus the placement policies.
+#[derive(Debug, Clone)]
+pub struct Hdfs {
+    cluster: ClusterSpec,
+}
+
+impl Hdfs {
+    /// Creates an HDFS instance over a cluster.
+    #[must_use]
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Hdfs { cluster }
+    }
+
+    /// The cluster this HDFS spans.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Splits a file of `file_bytes` into blocks of at most `block_bytes`
+    /// and places `replication` replicas of each using the rack-aware
+    /// policy. Primaries are spread by a seeded shuffle of the workers so
+    /// input data is balanced, as a real ingest (or balancer pass) leaves
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` or `file_bytes` is zero, or replication
+    /// exceeds the worker count.
+    #[must_use]
+    pub fn place_file(
+        &self,
+        file_bytes: u64,
+        block_bytes: u64,
+        replication: u16,
+        rng: &mut StdRng,
+    ) -> Vec<Block> {
+        assert!(block_bytes > 0 && file_bytes > 0, "file and block sizes must be positive");
+        assert!(
+            (replication as u32) <= self.cluster.worker_count(),
+            "replication {replication} exceeds worker count {}",
+            self.cluster.worker_count()
+        );
+        let mut workers: Vec<NodeId> = self.cluster.workers().collect();
+        workers.shuffle(rng);
+        let n_blocks = file_bytes.div_ceil(block_bytes);
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for i in 0..n_blocks {
+            let bytes = if i == n_blocks - 1 {
+                file_bytes - block_bytes * (n_blocks - 1)
+            } else {
+                block_bytes
+            };
+            let primary = workers[(i as usize) % workers.len()];
+            let replicas = self.pipeline_targets(primary, replication, rng);
+            blocks.push(Block { bytes, replicas });
+        }
+        blocks
+    }
+
+    /// Chooses the replica a reader on `client` should fetch from:
+    /// node-local if available, else rack-local, else a seeded-random
+    /// replica. Returns `None` when the read is local (no network
+    /// traffic).
+    #[must_use]
+    pub fn select_read_replica(
+        &self,
+        block: &Block,
+        client: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        if block.replicas.contains(&client) {
+            return None;
+        }
+        let client_is_worker = client.0 >= 1 && client.0 <= self.cluster.worker_count();
+        if client_is_worker {
+            let rack_local: Vec<NodeId> = block
+                .replicas
+                .iter()
+                .copied()
+                .filter(|&r| self.cluster.same_rack(r, client))
+                .collect();
+            if let Some(&pick) = rack_local.as_slice().choose(rng) {
+                return Some(pick);
+            }
+        }
+        Some(
+            *block
+                .replicas
+                .as_slice()
+                .choose(rng)
+                .expect("blocks always have at least one replica"),
+        )
+    }
+
+    /// Chooses the write pipeline for a block whose writer runs on
+    /// `writer`: `[writer, off-rack node, node on that second rack, ...]`,
+    /// the default `BlockPlacementPolicyDefault`. If the writer is not a
+    /// worker (e.g. the master acting as an ingest client), the first
+    /// target is a seeded-random worker.
+    #[must_use]
+    pub fn pipeline_targets(
+        &self,
+        writer: NodeId,
+        replication: u16,
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
+        let worker_count = self.cluster.worker_count();
+        let writer_is_worker = writer.0 >= 1 && writer.0 <= worker_count;
+        let first = if writer_is_worker {
+            writer
+        } else {
+            NodeId(rng.random_range(1..=worker_count))
+        };
+        let mut targets = vec![first];
+        if replication == 1 {
+            return targets;
+        }
+        // Second replica: a different rack if one exists.
+        let first_rack = self.cluster.rack_of(first);
+        let off_rack: Vec<NodeId> = self
+            .cluster
+            .workers()
+            .filter(|&w| self.cluster.rack_of(w) != first_rack)
+            .collect();
+        let second = off_rack
+            .as_slice()
+            .choose(rng)
+            .copied()
+            .unwrap_or_else(|| {
+                // Single-rack cluster: any other node.
+                pick_excluding(&self.cluster, &targets, rng)
+            });
+        targets.push(second);
+        // Third and later replicas: same rack as the second, else anywhere,
+        // never repeating a node.
+        while targets.len() < replication as usize {
+            let second_rack = self.cluster.rack_of(second);
+            let candidates: Vec<NodeId> = self
+                .cluster
+                .rack_members(second_rack)
+                .filter(|w| !targets.contains(w))
+                .collect();
+            let next = candidates
+                .as_slice()
+                .choose(rng)
+                .copied()
+                .unwrap_or_else(|| pick_excluding(&self.cluster, &targets, rng));
+            targets.push(next);
+        }
+        targets
+    }
+}
+
+/// Picks any worker not already in `used` (seeded-random).
+fn pick_excluding(cluster: &ClusterSpec, used: &[NodeId], rng: &mut StdRng) -> NodeId {
+    let candidates: Vec<NodeId> = cluster.workers().filter(|w| !used.contains(w)).collect();
+    *candidates
+        .as_slice()
+        .choose(rng)
+        .expect("replication never exceeds worker count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn place_file_splits_into_blocks() {
+        let hdfs = Hdfs::new(ClusterSpec::racks(2, 4));
+        let blocks = hdfs.place_file(300 << 20, 128 << 20, 3, &mut rng());
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].bytes, 128 << 20);
+        assert_eq!(blocks[2].bytes, (300 - 256) << 20);
+        for b in &blocks {
+            assert_eq!(b.replicas.len(), 3);
+            // No duplicate replicas.
+            let mut uniq = b.replicas.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3);
+        }
+    }
+
+    #[test]
+    fn placement_is_balanced() {
+        let cluster = ClusterSpec::racks(2, 4);
+        let hdfs = Hdfs::new(cluster.clone());
+        let blocks = hdfs.place_file(64 * (128 << 20), 128 << 20, 1, &mut rng());
+        let mut counts = std::collections::HashMap::new();
+        for b in &blocks {
+            *counts.entry(b.replicas[0]).or_insert(0u32) += 1;
+        }
+        // 64 blocks over 8 workers: exactly 8 primaries each.
+        assert!(counts.values().all(|&c| c == 8), "{counts:?}");
+    }
+
+    #[test]
+    fn rack_aware_pipeline() {
+        let cluster = ClusterSpec::racks(3, 3);
+        let hdfs = Hdfs::new(cluster.clone());
+        let mut r = rng();
+        for _ in 0..50 {
+            let targets = hdfs.pipeline_targets(NodeId(1), 3, &mut r);
+            assert_eq!(targets[0], NodeId(1));
+            // Second replica off-rack.
+            assert!(!cluster.same_rack(targets[0], targets[1]));
+            // Third replica on the second's rack (3-node racks always have
+            // room).
+            assert!(cluster.same_rack(targets[1], targets[2]));
+            assert_ne!(targets[1], targets[2]);
+        }
+    }
+
+    #[test]
+    fn single_rack_pipeline_still_distinct() {
+        let hdfs = Hdfs::new(ClusterSpec::racks(1, 5));
+        let targets = hdfs.pipeline_targets(NodeId(2), 3, &mut rng());
+        let mut uniq = targets.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+        assert_eq!(targets[0], NodeId(2));
+    }
+
+    #[test]
+    fn read_prefers_local_then_rack() {
+        let cluster = ClusterSpec::racks(2, 3);
+        let hdfs = Hdfs::new(cluster.clone());
+        let block = Block {
+            bytes: 1,
+            replicas: vec![NodeId(1), NodeId(4)],
+        };
+        // Local replica: no network read.
+        assert_eq!(hdfs.select_read_replica(&block, NodeId(1), &mut rng()), None);
+        // Rack-local preferred: node 2 shares rack 0 with node 1.
+        for _ in 0..20 {
+            assert_eq!(
+                hdfs.select_read_replica(&block, NodeId(2), &mut rng()),
+                Some(NodeId(1))
+            );
+        }
+        // Master (not a worker) gets some replica.
+        let pick = hdfs.select_read_replica(&block, NodeId(0), &mut rng());
+        assert!(matches!(pick, Some(n) if block.replicas.contains(&n)));
+    }
+
+    #[test]
+    fn pipeline_from_master_starts_on_worker() {
+        let cluster = ClusterSpec::racks(2, 2);
+        let hdfs = Hdfs::new(cluster.clone());
+        let targets = hdfs.pipeline_targets(NodeId(0), 2, &mut rng());
+        assert!(targets[0].0 >= 1);
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn replication_cannot_exceed_workers() {
+        let hdfs = Hdfs::new(ClusterSpec::racks(1, 2));
+        let _ = hdfs.place_file(1 << 20, 1 << 20, 3, &mut rng());
+    }
+}

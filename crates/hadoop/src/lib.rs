@@ -1,0 +1,67 @@
+//! Discrete-event Hadoop cluster simulator — Keddah's testbed substitute.
+//!
+//! The Keddah paper captured traffic from MapReduce jobs running on a
+//! physical Hadoop cluster. This crate reproduces that *traffic source*
+//! in simulation: HDFS block placement and replication pipelines, YARN
+//! slot scheduling with data locality, the map → shuffle → reduce data
+//! flow with slow-start, straggler noise, iterative multi-round jobs, and
+//! the control plane (heartbeats, NameNode RPCs, AM umbilicals). Every
+//! network transfer is tapped as packets and assembled into the labelled
+//! flow traces (`keddah-flowcap`) that the modelling pipeline consumes.
+//!
+//! See `DESIGN.md` ("Substitutions") for why this preserves the
+//! behaviours the Keddah models capture.
+//!
+//! # Examples
+//!
+//! ```
+//! use keddah_hadoop::driver::run_job;
+//! use keddah_hadoop::{ClusterSpec, HadoopConfig, JobSpec, Workload};
+//! use keddah_flowcap::Component;
+//!
+//! let run = run_job(
+//!     &ClusterSpec::racks(2, 4),
+//!     &HadoopConfig::default().with_reducers(8),
+//!     &JobSpec::new(Workload::TeraSort, 1 << 30),
+//!     7,
+//! );
+//! let shuffle_flows = run.trace.component_flows(Component::Shuffle).count();
+//! assert!(shuffle_flows > 0);
+//! ```
+
+mod cluster;
+mod config;
+pub mod driver;
+pub mod hdfs;
+pub mod net;
+mod ports_alloc;
+mod sim;
+mod workload;
+
+pub use cluster::ClusterSpec;
+pub use config::HadoopConfig;
+pub use driver::{run_job, run_job_with_packets, run_repeats, run_session, JobRun, SessionRun};
+pub use sim::JobCounters;
+pub use workload::{JobSpec, Workload, WorkloadProfile};
+
+use std::fmt;
+
+/// Errors produced when configuring the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HadoopError {
+    /// A configuration field was out of range; the message names it.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for HadoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HadoopError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HadoopError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HadoopError>;

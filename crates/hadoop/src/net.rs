@@ -1,0 +1,405 @@
+//! The testbed's transfer-time model and packet capture tap.
+//!
+//! Every network transfer the simulated cluster performs goes through
+//! [`NetModel::transfer`], which plays two roles:
+//!
+//! 1. **Timing** — computes when the transfer finishes under a simple
+//!    NIC-sharing contention model: a flow's rate is the line rate divided
+//!    by the number of flows concurrently active at its busier endpoint,
+//!    fixed at flow start. This is the coarse-grained stand-in for TCP
+//!    sharing that shapes task timings (and hence flow start-time
+//!    distributions) without simulating packets.
+//! 2. **Capture** — emits [`PacketRecord`]s (SYN, chunked data, FIN) into
+//!    an in-memory tap, exactly what the paper's per-node tcpdump saw.
+//!    Data packets are aggregates of up to [`CHUNK_BYTES`]; the flow
+//!    assembler only needs timestamps, directions and byte counts, so
+//!    MTU-level framing is not modelled.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use keddah_des::{Duration, SimTime};
+use keddah_flowcap::{NodeId, PacketRecord};
+
+use crate::ports_alloc::PortAllocator;
+
+/// Maximum payload bytes represented by one captured data packet record.
+pub const CHUNK_BYTES: u64 = 4 << 20;
+
+/// Maximum data packet records emitted per flow (long flows are chunked
+/// coarser rather than flooding the capture).
+pub const MAX_CHUNKS: u64 = 16;
+
+/// Connection setup latency charged to every transfer.
+pub const SETUP_LATENCY: Duration = Duration::from_millis(1);
+
+/// Which way the bulk payload moves relative to the connection
+/// originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Originator pushes data to the service (HDFS write, pipeline hop).
+    ToServer,
+    /// Service streams data back to the originator (HDFS read, shuffle
+    /// fetch).
+    ToClient,
+}
+
+/// The cluster network: transfer timing plus packet tap.
+#[derive(Debug)]
+pub struct NetModel {
+    nic_bps: f64,
+    active: HashMap<NodeId, u32>,
+    releases: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    packets: Vec<PacketRecord>,
+    ports: PortAllocator,
+}
+
+impl NetModel {
+    /// Creates a network model where every node has a `nic_bps` bit/s NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nic_bps` is not positive.
+    #[must_use]
+    pub fn new(nic_bps: f64) -> Self {
+        assert!(nic_bps > 0.0, "NIC rate must be positive");
+        NetModel {
+            nic_bps,
+            active: HashMap::new(),
+            releases: BinaryHeap::new(),
+            packets: Vec::new(),
+            ports: PortAllocator::new(),
+        }
+    }
+
+    /// Retires transfers that finished at or before `now` from the
+    /// contention counters.
+    fn expire(&mut self, now: SimTime) {
+        while let Some(&Reverse((finish, a, b))) = self.releases.peek() {
+            if finish > now.as_nanos() {
+                break;
+            }
+            self.releases.pop();
+            for node in [NodeId(a), NodeId(b)] {
+                if let Some(c) = self.active.get_mut(&node) {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        self.active.remove(&node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one transfer of `bytes` between `client` and the service at
+    /// `server:server_port`, starting at `now`. Returns the completion
+    /// time and records the packet trail in the capture tap.
+    ///
+    /// Zero-byte transfers still cost the setup latency and emit a
+    /// SYN/FIN pair (RPC null calls look like this on the wire).
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        client: NodeId,
+        server: NodeId,
+        server_port: u16,
+        bytes: u64,
+        payload: Payload,
+    ) -> SimTime {
+        self.expire(now);
+        let share_src = (*self.active.get(&client).unwrap_or(&0) + 1) as f64;
+        let share_dst = (*self.active.get(&server).unwrap_or(&0) + 1) as f64;
+        let byte_rate = (self.nic_bps / 8.0) / share_src.max(share_dst);
+        let xfer = Duration::from_secs_f64(bytes as f64 / byte_rate);
+        let finish = now + SETUP_LATENCY + xfer;
+
+        *self.active.entry(client).or_insert(0) += 1;
+        *self.active.entry(server).or_insert(0) += 1;
+        self.releases
+            .push(Reverse((finish.as_nanos(), client.0, server.0)));
+
+        let client_port = self.ports.next(client);
+        self.emit_packets(now, finish, client, client_port, server, server_port, bytes, payload);
+        finish
+    }
+
+    /// Emits a small request/response exchange (RPC call, heartbeat) and
+    /// returns its completion time. Both directions carry bytes; the flow
+    /// classifies as control via the service port.
+    pub fn exchange(
+        &mut self,
+        now: SimTime,
+        client: NodeId,
+        server: NodeId,
+        server_port: u16,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> SimTime {
+        self.expire(now);
+        let finish = now + SETUP_LATENCY;
+        let client_port = self.ports.next(client);
+        self.packets.push(PacketRecord::syn(
+            now,
+            client,
+            client_port,
+            server,
+            server_port,
+            request_bytes,
+        ));
+        self.packets.push(PacketRecord::data(
+            finish,
+            server,
+            server_port,
+            client,
+            client_port,
+            response_bytes,
+        ));
+        self.packets.push(PacketRecord::fin(
+            finish,
+            client,
+            client_port,
+            server,
+            server_port,
+            0,
+        ));
+        finish
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_packets(
+        &mut self,
+        start: SimTime,
+        finish: SimTime,
+        client: NodeId,
+        client_port: u16,
+        server: NodeId,
+        server_port: u16,
+        bytes: u64,
+        payload: Payload,
+    ) {
+        // SYN + request from the client.
+        self.packets.push(PacketRecord::syn(
+            start,
+            client,
+            client_port,
+            server,
+            server_port,
+            128,
+        ));
+        if bytes > 0 {
+            let chunks = bytes.div_ceil(CHUNK_BYTES).clamp(1, MAX_CHUNKS);
+            let per_chunk = bytes / chunks;
+            let remainder = bytes % chunks;
+            let span = finish.saturating_since(start);
+            for i in 0..chunks {
+                let mut chunk_bytes = per_chunk;
+                if i < remainder {
+                    chunk_bytes += 1;
+                }
+                // Chunk i completes at the proportional point of the
+                // transfer window.
+                let frac = (i + 1) as f64 / chunks as f64;
+                let ts = start + span.mul_f64(frac);
+                let p = match payload {
+                    Payload::ToServer => PacketRecord::data(
+                        ts,
+                        client,
+                        client_port,
+                        server,
+                        server_port,
+                        chunk_bytes,
+                    ),
+                    Payload::ToClient => PacketRecord::data(
+                        ts,
+                        server,
+                        server_port,
+                        client,
+                        client_port,
+                        chunk_bytes,
+                    ),
+                };
+                self.packets.push(p);
+            }
+        }
+        self.packets.push(PacketRecord::fin(
+            finish,
+            client,
+            client_port,
+            server,
+            server_port,
+            0,
+        ));
+    }
+
+    /// Number of packets captured so far.
+    #[must_use]
+    pub fn captured(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Drains the capture tap, returning all packets sorted by timestamp
+    /// (stable, so same-instant packets keep emission order).
+    #[must_use]
+    pub fn take_packets(&mut self) -> Vec<PacketRecord> {
+        let mut packets = std::mem::take(&mut self.packets);
+        packets.sort_by_key(|p| p.ts);
+        packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keddah_flowcap::{classify, Component, FlowAssembler, ports};
+
+    #[test]
+    fn uncontended_transfer_time() {
+        let mut net = NetModel::new(1e9); // 1 Gb/s = 125 MB/s
+        let finish = net.transfer(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            125_000_000,
+            Payload::ToServer,
+        );
+        // 1 second of transfer + 1 ms setup.
+        assert!((finish.as_secs_f64() - 1.001).abs() < 1e-9, "{finish}");
+    }
+
+    #[test]
+    fn contention_halves_rate() {
+        let mut net = NetModel::new(1e9);
+        let _first = net.transfer(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            125_000_000,
+            Payload::ToServer,
+        );
+        // Second flow into the same destination while the first is active:
+        // sees 2 active flows at node 2.
+        let second = net.transfer(
+            SimTime::ZERO,
+            NodeId(3),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            125_000_000,
+            Payload::ToServer,
+        );
+        assert!((second.as_secs_f64() - 2.001).abs() < 1e-9, "{second}");
+    }
+
+    #[test]
+    fn contention_expires() {
+        let mut net = NetModel::new(1e9);
+        net.transfer(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            125_000_000,
+            Payload::ToServer,
+        );
+        // Starting after the first finished: full rate again.
+        let later = net.transfer(
+            SimTime::from_secs(5),
+            NodeId(3),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            125_000_000,
+            Payload::ToServer,
+        );
+        assert!((later.as_secs_f64() - 6.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packets_assemble_into_classified_flows() {
+        let mut net = NetModel::new(1e9);
+        // A read: data flows back to the client.
+        net.transfer(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            64 << 20,
+            Payload::ToClient,
+        );
+        // A write.
+        net.transfer(
+            SimTime::from_secs(10),
+            NodeId(3),
+            NodeId(2),
+            ports::DATANODE_XFER,
+            64 << 20,
+            Payload::ToServer,
+        );
+        // A shuffle fetch.
+        net.transfer(
+            SimTime::from_secs(20),
+            NodeId(4),
+            NodeId(1),
+            ports::SHUFFLE,
+            1 << 20,
+            Payload::ToClient,
+        );
+        // A heartbeat.
+        net.exchange(
+            SimTime::from_secs(21),
+            NodeId(4),
+            NodeId(0),
+            ports::RM_TRACKER,
+            700,
+            300,
+        );
+        let mut asm = FlowAssembler::new();
+        asm.extend(net.take_packets());
+        let mut flows = asm.finish();
+        classify::classify_all(&mut flows);
+        let kinds: Vec<Component> = flows.iter().map(|f| f.component.unwrap()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Component::HdfsRead,
+                Component::HdfsWrite,
+                Component::Shuffle,
+                Component::Control
+            ]
+        );
+        // Byte conservation: read flow carries the block + SYN request.
+        assert_eq!(flows[0].rev_bytes, 64 << 20);
+        assert_eq!(flows[1].fwd_bytes, (64 << 20) + 128);
+        let hb = &flows[3];
+        assert_eq!(hb.fwd_bytes, 700 + 128 - 128); // request (SYN carries it)
+        assert_eq!(hb.rev_bytes, 300);
+    }
+
+    #[test]
+    fn zero_byte_transfer_still_captured() {
+        let mut net = NetModel::new(1e9);
+        net.transfer(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            ports::NAMENODE_RPC,
+            0,
+            Payload::ToServer,
+        );
+        let packets = net.take_packets();
+        assert_eq!(packets.len(), 2); // SYN + FIN
+        assert!(packets[0].syn && packets[1].fin);
+    }
+
+    #[test]
+    fn take_packets_sorted() {
+        let mut net = NetModel::new(1e9);
+        net.transfer(SimTime::from_secs(5), NodeId(1), NodeId(2), 50010, 1000, Payload::ToServer);
+        net.transfer(SimTime::ZERO, NodeId(3), NodeId(4), 50010, 1000, Payload::ToServer);
+        let packets = net.take_packets();
+        for w in packets.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert_eq!(net.captured(), 0, "tap drained");
+    }
+}

@@ -1,0 +1,61 @@
+//! Ephemeral port allocation for simulated connections.
+
+use std::collections::HashMap;
+
+use keddah_flowcap::{ports, NodeId};
+
+/// Hands out ephemeral (client-side) ports per node, wrapping within the
+/// OS ephemeral range. Each node has its own counter, as each real host
+/// does, so concurrent connections from one node never collide.
+#[derive(Debug, Default)]
+pub struct PortAllocator {
+    next: HashMap<NodeId, u16>,
+}
+
+impl PortAllocator {
+    /// Creates an allocator with all counters at the base of the
+    /// ephemeral range.
+    #[must_use]
+    pub fn new() -> Self {
+        PortAllocator::default()
+    }
+
+    /// Returns the next ephemeral port for `node`.
+    pub fn next(&mut self, node: NodeId) -> u16 {
+        let slot = self.next.entry(node).or_insert(ports::EPHEMERAL_BASE);
+        let port = *slot;
+        *slot = if *slot == u16::MAX {
+            ports::EPHEMERAL_BASE
+        } else {
+            *slot + 1
+        };
+        port
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_are_per_node() {
+        let mut alloc = PortAllocator::new();
+        let a1 = alloc.next(NodeId(1));
+        let b1 = alloc.next(NodeId(2));
+        let a2 = alloc.next(NodeId(1));
+        assert_eq!(a1, ports::EPHEMERAL_BASE);
+        assert_eq!(b1, ports::EPHEMERAL_BASE);
+        assert_eq!(a2, ports::EPHEMERAL_BASE + 1);
+    }
+
+    #[test]
+    fn wraps_at_range_end() {
+        let mut alloc = PortAllocator::new();
+        // Force the counter near the end.
+        for _ in 0..(u16::MAX - ports::EPHEMERAL_BASE) {
+            alloc.next(NodeId(7));
+        }
+        assert_eq!(alloc.next(NodeId(7)), u16::MAX);
+        assert_eq!(alloc.next(NodeId(7)), ports::EPHEMERAL_BASE);
+    }
+}

@@ -1,0 +1,251 @@
+//! MapReduce workload profiles.
+//!
+//! Keddah characterizes traffic per *job type* because the data-flow
+//! selectivities differ by orders of magnitude between, say, a TeraSort
+//! (shuffles its whole input) and a Grep (shuffles almost nothing). The
+//! profiles below encode each HiBench-style workload's map/reduce
+//! selectivity, iteration count and relative CPU intensity; they are the
+//! simulator's substitute for running the real programs on real inputs
+//! (see DESIGN.md, "Substitutions").
+
+use serde::{Deserialize, Serialize};
+
+/// The MapReduce job types in the evaluation workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Workload {
+    /// Word frequency count with a combiner (shuffle ≪ input).
+    WordCount,
+    /// Distributed sort (shuffle ≈ input ≈ output): the network-heaviest
+    /// classic benchmark.
+    TeraSort,
+    /// Iterative link-analysis; each iteration re-shuffles the rank table.
+    PageRank,
+    /// Iterative clustering; maps emit only per-centroid partial sums.
+    KMeans,
+    /// Naive Bayes model training over documents.
+    Bayes,
+    /// Regex filter with tiny match rate (nearly no shuffle or output).
+    Grep,
+    /// Map-only data generator (the ingest phase that loads HDFS before
+    /// the other jobs run): no shuffle, no reducers, pure replicated
+    /// writes.
+    TeraGen,
+}
+
+/// The data-flow characteristics of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Map output bytes per input byte (after any combiner).
+    pub map_selectivity: f64,
+    /// Job output bytes per byte of reduce input.
+    pub reduce_selectivity: f64,
+    /// Number of chained MapReduce rounds (1 for single-pass jobs).
+    pub iterations: u32,
+    /// Relative CPU cost multiplier applied to processing rates
+    /// (1.0 = I/O-bound baseline; higher = more compute per byte).
+    pub cpu_factor: f64,
+    /// For multi-round jobs: whether each round re-reads the original
+    /// input (KMeans scans the dataset every iteration) or consumes the
+    /// previous round's output (PageRank chains rank tables).
+    pub reread_input: bool,
+    /// Map-only job: maps synthesize their output locally (no HDFS
+    /// reads, no shuffle, no reducers) and write it through replication
+    /// pipelines. TeraGen-style ingest.
+    pub map_only: bool,
+}
+
+impl Workload {
+    /// All workloads in canonical table order.
+    pub const ALL: &'static [Workload] = &[
+        Workload::WordCount,
+        Workload::TeraSort,
+        Workload::PageRank,
+        Workload::KMeans,
+        Workload::Bayes,
+        Workload::Grep,
+        Workload::TeraGen,
+    ];
+
+    /// Short snake_case name used in trace metadata and table rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::WordCount => "wordcount",
+            Workload::TeraSort => "terasort",
+            Workload::PageRank => "pagerank",
+            Workload::KMeans => "kmeans",
+            Workload::Bayes => "bayes",
+            Workload::Grep => "grep",
+            Workload::TeraGen => "teragen",
+        }
+    }
+
+    /// Parses a workload from its [`name`](Self::name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// The workload's data-flow profile.
+    ///
+    /// Selectivities follow the qualitative behaviour reported for the
+    /// HiBench implementations of these jobs: TeraSort moves ~all input
+    /// through the shuffle; WordCount's combiner collapses it to ~20%;
+    /// Grep emits almost nothing; the iterative jobs repeat per-round
+    /// traffic on a near-constant working set.
+    #[must_use]
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            Workload::WordCount => WorkloadProfile {
+                map_selectivity: 0.20,
+                reduce_selectivity: 0.45,
+                iterations: 1,
+                cpu_factor: 1.4,
+                reread_input: false,
+                map_only: false,
+            },
+            Workload::TeraSort => WorkloadProfile {
+                map_selectivity: 1.0,
+                reduce_selectivity: 1.0,
+                iterations: 1,
+                cpu_factor: 1.0,
+                reread_input: false,
+                map_only: false,
+            },
+            Workload::PageRank => WorkloadProfile {
+                map_selectivity: 0.9,
+                reduce_selectivity: 0.95,
+                iterations: 3,
+                cpu_factor: 1.2,
+                reread_input: false,
+                map_only: false,
+            },
+            Workload::KMeans => WorkloadProfile {
+                map_selectivity: 0.02,
+                reduce_selectivity: 0.5,
+                iterations: 3,
+                cpu_factor: 2.5,
+                reread_input: true,
+                map_only: false,
+            },
+            Workload::Bayes => WorkloadProfile {
+                map_selectivity: 0.35,
+                reduce_selectivity: 0.3,
+                iterations: 1,
+                cpu_factor: 1.8,
+                reread_input: false,
+                map_only: false,
+            },
+            Workload::Grep => WorkloadProfile {
+                map_selectivity: 0.01,
+                reduce_selectivity: 1.0,
+                iterations: 1,
+                cpu_factor: 0.8,
+                reread_input: false,
+                map_only: false,
+            },
+            Workload::TeraGen => WorkloadProfile {
+                map_selectivity: 1.0,
+                reduce_selectivity: 1.0,
+                iterations: 1,
+                cpu_factor: 0.4,
+                reread_input: false,
+                map_only: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A job to run: workload plus input size, with optional per-job
+/// overrides of the cluster-wide Hadoop configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The workload to run.
+    pub workload: Workload,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+}
+
+impl JobSpec {
+    /// Creates a job spec.
+    #[must_use]
+    pub fn new(workload: Workload, input_bytes: u64) -> Self {
+        JobSpec {
+            workload,
+            input_bytes,
+        }
+    }
+}
+
+impl std::fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}({:.2} GB)",
+            self.workload,
+            self.input_bytes as f64 / (1u64 << 30) as f64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for &w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for &w in Workload::ALL {
+            let p = w.profile();
+            assert!(p.map_selectivity > 0.0 && p.map_selectivity <= 2.0, "{w}");
+            assert!(p.reduce_selectivity > 0.0 && p.reduce_selectivity <= 2.0, "{w}");
+            assert!(p.iterations >= 1, "{w}");
+            assert!(p.cpu_factor > 0.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn terasort_is_shuffle_heaviest() {
+        let ts = Workload::TeraSort.profile().map_selectivity;
+        for &w in Workload::ALL {
+            assert!(w.profile().map_selectivity <= ts, "{w}");
+        }
+    }
+
+    #[test]
+    fn iterative_jobs_iterate() {
+        assert!(Workload::PageRank.profile().iterations > 1);
+        assert!(Workload::KMeans.profile().iterations > 1);
+        assert_eq!(Workload::TeraSort.profile().iterations, 1);
+        // KMeans rescans its dataset; PageRank chains outputs.
+        assert!(Workload::KMeans.profile().reread_input);
+        assert!(!Workload::PageRank.profile().reread_input);
+    }
+
+    #[test]
+    fn teragen_is_the_only_map_only_job() {
+        for &w in Workload::ALL {
+            assert_eq!(w.profile().map_only, w == Workload::TeraGen, "{w}");
+        }
+    }
+
+    #[test]
+    fn jobspec_display() {
+        let j = JobSpec::new(Workload::TeraSort, 1 << 30);
+        assert_eq!(j.to_string(), "terasort(1.00 GB)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Flow-level network simulator — the ns-3 substitute Keddah replays
+//! traffic into.
+//!
+//! Keddah's final stage feeds generated Hadoop traffic to a network
+//! simulator to study it under topologies and conditions the physical
+//! testbed cannot provide. This crate is a deterministic flow-level
+//! (fluid) simulator in that role:
+//!
+//! * [`Topology`] — star, leaf–spine (with oversubscription) and k-ary
+//!   fat-tree fabrics, with ECMP shortest-path routing;
+//! * [`fair`] — max-min fair bandwidth sharing by progressive filling,
+//!   the standard fluid abstraction of long-lived TCP;
+//! * [`simulate`] — the event loop: flows arrive, share links, complete;
+//!   completions and per-link byte counts come back in a [`SimReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use keddah_des::SimTime;
+//! use keddah_netsim::{simulate, FlowSpec, HostId, SimOptions, Topology};
+//!
+//! let topo = Topology::leaf_spine(2, 4, 2, 1e9, 1.0);
+//! let flows: Vec<FlowSpec> = (0..4)
+//!     .map(|i| FlowSpec {
+//!         src: HostId(i),
+//!         dst: HostId(7 - i),
+//!         bytes: 10 << 20,
+//!         start: SimTime::ZERO,
+//!         tag: i,
+//!     })
+//!     .collect();
+//! let report = simulate(&topo, &flows, SimOptions::default());
+//! assert_eq!(report.results.len(), 4);
+//! ```
+
+pub mod fair;
+mod routing;
+mod sim;
+mod tcp;
+mod topology;
+
+pub use routing::RouteCache;
+pub use sim::{simulate, FlowResult, FlowSpec, SimOptions, SimReport};
+pub use tcp::{simulate_tcp, TcpOptions};
+pub use topology::{HostId, LinkId, Topology};

@@ -1,0 +1,98 @@
+//! Destination-indexed route caching.
+//!
+//! [`Topology::route`] runs a BFS per call; a replay injecting tens of
+//! thousands of flows toward a handful of reducer hosts repeats the same
+//! BFS endlessly. [`RouteCache`] memoizes the per-destination distance
+//! tables so each destination's BFS runs once, while ECMP selection
+//! stays per-flow.
+
+use std::collections::HashMap;
+
+use crate::topology::{HostId, LinkId, Topology};
+
+/// A per-destination route cache over one topology.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_netsim::{RouteCache, HostId, Topology};
+///
+/// let topo = Topology::fat_tree(4, 1e9);
+/// let mut cache = RouteCache::new(&topo);
+/// let path = cache.route(HostId(0), HostId(12), 7);
+/// assert_eq!(path, topo.route(HostId(0), HostId(12), 7));
+/// ```
+#[derive(Debug)]
+pub struct RouteCache<'a> {
+    topo: &'a Topology,
+    distances: HashMap<u32, Vec<u32>>,
+}
+
+impl<'a> RouteCache<'a> {
+    /// Creates an empty cache over `topo`.
+    #[must_use]
+    pub fn new(topo: &'a Topology) -> Self {
+        RouteCache {
+            topo,
+            distances: HashMap::new(),
+        }
+    }
+
+    /// Number of destinations whose distance table is cached.
+    #[must_use]
+    pub fn cached_destinations(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// Shortest ECMP path from `src` to `dst`, identical to
+    /// [`Topology::route`] but with the destination's BFS memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a host.
+    pub fn route(&mut self, src: HostId, dst: HostId, flow_hash: u64) -> Vec<LinkId> {
+        assert!(src.0 < self.topo.host_count(), "{src} is not a host");
+        assert!(dst.0 < self.topo.host_count(), "{dst} is not a host");
+        if src == dst {
+            return Vec::new();
+        }
+        let topo = self.topo;
+        let dist = self
+            .distances
+            .entry(dst.0)
+            .or_insert_with(|| topo.distances_to(dst.0));
+        topo.walk_route(src.0, dst.0, dist, flow_hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_agrees_with_direct_routing() {
+        let topo = Topology::fat_tree(4, 1e9);
+        let mut cache = RouteCache::new(&topo);
+        for src in 0..topo.host_count() {
+            for dst in 0..topo.host_count() {
+                for hash in [0u64, 7, 42] {
+                    assert_eq!(
+                        cache.route(HostId(src), HostId(dst), hash),
+                        topo.route(HostId(src), HostId(dst), hash),
+                        "mismatch {src}->{dst} hash {hash}"
+                    );
+                }
+            }
+        }
+        // One BFS per destination, not per call.
+        assert_eq!(cache.cached_destinations() as u32, topo.host_count());
+    }
+
+    #[test]
+    fn self_routes_are_empty_and_uncached() {
+        let topo = Topology::star(4, 1e9);
+        let mut cache = RouteCache::new(&topo);
+        assert!(cache.route(HostId(2), HostId(2), 0).is_empty());
+        assert_eq!(cache.cached_destinations(), 0);
+    }
+}

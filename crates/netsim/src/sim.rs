@@ -1,0 +1,501 @@
+//! Fluid flow-level simulation loop.
+
+use keddah_des::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::fair::max_min_rates;
+use crate::routing::RouteCache;
+use crate::topology::{HostId, Topology};
+
+/// A flow to inject: who talks to whom, how much, starting when.
+///
+/// `tag` is an opaque label carried through to the result (the Keddah
+/// replay uses it for the traffic component) and also seeds ECMP path
+/// selection together with the flow's position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Injection time.
+    pub start: SimTime,
+    /// Opaque label carried into the result.
+    pub tag: u32,
+}
+
+/// The outcome of one simulated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowResult {
+    /// The injected spec.
+    pub spec: FlowSpec,
+    /// When the last byte arrived.
+    pub finish: SimTime,
+}
+
+impl FlowResult {
+    /// Flow completion time.
+    #[must_use]
+    pub fn fct(&self) -> Duration {
+        self.finish.saturating_since(self.spec.start)
+    }
+}
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Fixed propagation/startup latency added to every flow.
+    pub propagation: Duration,
+    /// Flows strictly smaller than this bypass the fluid solver and
+    /// complete at line rate — the standard "mice fast-path" that keeps
+    /// huge control-plane flow counts tractable. Zero disables it.
+    pub mouse_threshold: u64,
+    /// Rate allotted to host-local flows (loopback), bits/s.
+    pub local_bps: f64,
+    /// Model TCP slow-start ramp-up: charges each flow
+    /// `RTT * log2(segments it must ramp through)` of extra latency, with
+    /// RTT = 2 x propagation. Short flows pay proportionally more — the
+    /// qualitative FCT effect slow start has in packet simulators. Off
+    /// by default (pure fluid model).
+    pub tcp_slow_start: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            propagation: Duration::from_micros(100),
+            mouse_threshold: 0,
+            local_bps: 10e9,
+            tcp_slow_start: false,
+        }
+    }
+}
+
+/// Extra completion latency charged for TCP slow start: one RTT per
+/// congestion-window doubling until the flow's data fits the window,
+/// capped at the rounds needed for `bytes`.
+fn slow_start_delay(bytes: u64, options: &SimOptions) -> f64 {
+    if !options.tcp_slow_start || bytes == 0 {
+        return 0.0;
+    }
+    const MSS: f64 = 1448.0;
+    let segments = (bytes as f64 / MSS).max(1.0);
+    let rounds = segments.log2().ceil().clamp(0.0, 16.0);
+    let rtt = 2.0 * options.propagation.as_secs_f64();
+    rounds * rtt
+}
+
+/// The output of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-flow outcomes, in the same order as the input specs.
+    pub results: Vec<FlowResult>,
+    /// Total bytes carried per directed link (by link id).
+    pub link_bytes: Vec<u64>,
+    /// Largest number of concurrently active fluid flows.
+    pub peak_active: usize,
+}
+
+impl SimReport {
+    /// Flow completion times in seconds, in input order.
+    #[must_use]
+    pub fn fcts(&self) -> Vec<f64> {
+        self.results.iter().map(|r| r.fct().as_secs_f64()).collect()
+    }
+
+    /// The overall makespan: time from the earliest start to the last
+    /// finish.
+    #[must_use]
+    pub fn makespan(&self) -> Duration {
+        let start = self.results.iter().map(|r| r.spec.start).min();
+        let end = self.results.iter().map(|r| r.finish).max();
+        match (start, end) {
+            (Some(s), Some(e)) => e.saturating_since(s),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Utilisation of the busiest link, as bytes carried divided by
+    /// `capacity * makespan`. Returns 0 for an empty run.
+    #[must_use]
+    pub fn peak_link_utilisation(&self, topo: &Topology) -> f64 {
+        let span = self.makespan().as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.link_bytes
+            .iter()
+            .enumerate()
+            .map(|(l, &b)| {
+                b as f64 * 8.0 / (topo.link_capacity(crate::topology::LinkId(l as u32)) * span)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+struct ActiveFlow {
+    idx: usize,
+    remaining_bits: f64,
+    links: Vec<u32>,
+}
+
+/// Runs the fluid simulation of `flows` over `topo`.
+///
+/// Flows are processed in start order; active flows share links by
+/// max-min fairness, recomputed at every arrival and departure. The
+/// result vector preserves input order.
+///
+/// # Panics
+///
+/// Panics if a flow references a host outside the topology.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_des::SimTime;
+/// use keddah_netsim::{simulate, FlowSpec, HostId, SimOptions, Topology};
+///
+/// let topo = Topology::star(4, 1e9);
+/// let flows = vec![FlowSpec {
+///     src: HostId(0),
+///     dst: HostId(1),
+///     bytes: 125_000_000, // 1 Gb
+///     start: SimTime::ZERO,
+///     tag: 0,
+/// }];
+/// let report = simulate(&topo, &flows, SimOptions::default());
+/// // Alone on a 1 Gb/s path: ~1 s.
+/// assert!((report.results[0].fct().as_secs_f64() - 1.0).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn simulate(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> SimReport {
+    let capacities: Vec<f64> = topo.links().iter().map(|l| l.capacity_bps).collect();
+    let mut results: Vec<Option<FlowResult>> = vec![None; flows.len()];
+    let mut link_bytes = vec![0u64; capacities.len()];
+
+    // Order of processing: by start time, stable.
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by_key(|&i| flows[i].start);
+
+    let mut router = RouteCache::new(topo);
+    let mut active: Vec<ActiveFlow> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    let mut now = 0.0f64;
+    let mut next = 0usize;
+    let mut peak_active = 0usize;
+
+    let recompute = |active: &[ActiveFlow]| -> Vec<f64> {
+        let flow_links: Vec<Vec<u32>> = active.iter().map(|f| f.links.clone()).collect();
+        max_min_rates(&flow_links, &capacities, options.local_bps)
+    };
+
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        if iterations > 20 * flows.len() as u64 + 10_000 {
+            panic!(
+                "fluid simulation failed to converge: {} active flows at t={now}, next={next}/{}, \
+                 remaining={:?}, rates={:?}",
+                active.len(),
+                flows.len(),
+                active.iter().map(|f| f.remaining_bits).take(5).collect::<Vec<_>>(),
+                rates.iter().take(5).collect::<Vec<_>>()
+            );
+        }
+        // Time of the next arrival, if any.
+        let next_arrival = order.get(next).map(|&i| flows[i].start.as_secs_f64());
+        // Time of the earliest completion among active flows.
+        let next_completion = active
+            .iter()
+            .zip(&rates)
+            .map(|(f, &r)| now + f.remaining_bits / r.max(1e-9))
+            .fold(f64::INFINITY, f64::min);
+
+        let (advance_to, is_arrival) = match next_arrival {
+            Some(a) if a <= next_completion => (a, true),
+            _ if next_completion.is_finite() => (next_completion, false),
+            Some(a) => (a, true),
+            None => break, // no arrivals, no active flows
+        };
+
+        // Drain transferred bits.
+        let dt = (advance_to - now).max(0.0);
+        for (f, &r) in active.iter_mut().zip(&rates) {
+            f.remaining_bits = (f.remaining_bits - r * dt).max(0.0);
+        }
+        now = advance_to;
+
+        if is_arrival {
+            let idx = order[next];
+            next += 1;
+            let spec = flows[idx];
+            let links: Vec<u32> = router
+                .route(spec.src, spec.dst, idx as u64)
+                .into_iter()
+                .map(|l| l.0)
+                .collect();
+            for &l in &links {
+                link_bytes[l as usize] += spec.bytes;
+            }
+            let prop = options.propagation.as_secs_f64();
+            if spec.bytes < options.mouse_threshold {
+                // Mice fast-path: uncontended line-rate completion.
+                let bottleneck = links
+                    .iter()
+                    .map(|&l| capacities[l as usize])
+                    .fold(options.local_bps, f64::min);
+                let fct = prop
+                    + slow_start_delay(spec.bytes, &options)
+                    + spec.bytes as f64 * 8.0 / bottleneck;
+                results[idx] = Some(FlowResult {
+                    spec,
+                    finish: SimTime::from_secs_f64(now + fct),
+                });
+            } else {
+                active.push(ActiveFlow {
+                    idx,
+                    // Propagation charged up front as extra "bits" at the
+                    // eventual rate would distort sharing; instead it is
+                    // added to the finish time on completion.
+                    remaining_bits: (spec.bytes as f64 * 8.0).max(1.0),
+                    links,
+                });
+                peak_active = peak_active.max(active.len());
+                rates = recompute(&active);
+            }
+        } else {
+            // Retire every flow that just drained (ties complete
+            // together). Sub-byte residues count as drained: they are
+            // numerical dust, and waiting for them can stall the clock
+            // entirely once `now + residue/rate` rounds back to `now`.
+            const RETIRE_EPS_BITS: f64 = 8.0;
+            let mut finished = Vec::new();
+            active.retain(|f| {
+                if f.remaining_bits <= RETIRE_EPS_BITS {
+                    finished.push(f.idx);
+                    false
+                } else {
+                    true
+                }
+            });
+            if finished.is_empty() && !active.is_empty() {
+                // Guaranteed progress: float rounding left the minimum
+                // flow just above the epsilon; retire it outright.
+                let (pos, _) = active
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.remaining_bits
+                            .partial_cmp(&b.remaining_bits)
+                            .expect("finite remainders")
+                    })
+                    .expect("active is non-empty");
+                finished.push(active.remove(pos).idx);
+            }
+            for idx in finished {
+                let spec = flows[idx];
+                let extra =
+                    options.propagation.as_secs_f64() + slow_start_delay(spec.bytes, &options);
+                results[idx] = Some(FlowResult {
+                    spec,
+                    finish: SimTime::from_secs_f64(now + extra),
+                });
+            }
+            rates = recompute(&active);
+        }
+    }
+
+    SimReport {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every flow completes"))
+            .collect(),
+        link_bytes,
+        peak_active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(src: u32, dst: u32, bytes: u64, start_ms: u64) -> FlowSpec {
+        FlowSpec {
+            src: HostId(src),
+            dst: HostId(dst),
+            bytes,
+            start: SimTime::from_millis(start_ms),
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn lone_flow_runs_at_line_rate() {
+        let topo = Topology::star(2, 1e9);
+        let report = simulate(&topo, &[flow(0, 1, 125_000_000, 0)], SimOptions::default());
+        assert!((report.results[0].fct().as_secs_f64() - 1.0).abs() < 0.001);
+        assert_eq!(report.peak_active, 1);
+    }
+
+    #[test]
+    fn two_flows_into_one_host_share() {
+        let topo = Topology::star(3, 1e9);
+        let flows = [flow(0, 2, 125_000_000, 0), flow(1, 2, 125_000_000, 0)];
+        let report = simulate(&topo, &flows, SimOptions::default());
+        // Both share host 2's 1 Gb/s downlink: ~2 s each.
+        for r in &report.results {
+            assert!((r.fct().as_secs_f64() - 2.0).abs() < 0.01, "{:?}", r.fct());
+        }
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let topo = Topology::star(4, 1e9);
+        let flows = [flow(0, 1, 125_000_000, 0), flow(2, 3, 125_000_000, 0)];
+        let report = simulate(&topo, &flows, SimOptions::default());
+        for r in &report.results {
+            assert!((r.fct().as_secs_f64() - 1.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn late_arrival_slows_first_flow() {
+        let topo = Topology::star(3, 1e9);
+        // Flow A alone for 0.5 s, then shares with B.
+        let flows = [flow(0, 2, 125_000_000, 0), flow(1, 2, 125_000_000, 500)];
+        let report = simulate(&topo, &flows, SimOptions::default());
+        let a = report.results[0].fct().as_secs_f64();
+        // A: 0.5 s alone (half done) + 1 s shared = 1.5 s.
+        assert!((a - 1.5).abs() < 0.02, "a = {a}");
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let topo = Topology::star(4, 1e9);
+        let flows = [flow(2, 3, 1000, 100), flow(0, 1, 1000, 0)];
+        let report = simulate(&topo, &flows, SimOptions::default());
+        assert_eq!(report.results[0].spec.start, SimTime::from_millis(100));
+        assert_eq!(report.results[1].spec.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn mice_fast_path() {
+        let topo = Topology::star(3, 1e9);
+        let opts = SimOptions {
+            mouse_threshold: 10_000,
+            ..SimOptions::default()
+        };
+        // One elephant and many mice: mice finish in ~latency regardless.
+        let mut flows = vec![flow(0, 2, 1 << 30, 0)];
+        for i in 0..100 {
+            flows.push(flow(1, 2, 500, i * 10));
+        }
+        let report = simulate(&topo, &flows, opts);
+        assert_eq!(report.peak_active, 1, "mice never enter the fluid set");
+        for r in &report.results[1..] {
+            assert!(r.fct().as_secs_f64() < 0.001);
+        }
+    }
+
+    #[test]
+    fn local_flows_complete_fast() {
+        let topo = Topology::star(2, 1e9);
+        let report = simulate(&topo, &[flow(0, 0, 125_000_000, 0)], SimOptions::default());
+        // Loopback at 10 Gb/s: 0.1 s.
+        assert!((report.results[0].fct().as_secs_f64() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_byte_flow_costs_propagation() {
+        let topo = Topology::star(2, 1e9);
+        let report = simulate(&topo, &[flow(0, 1, 0, 0)], SimOptions::default());
+        let fct = report.results[0].fct().as_secs_f64();
+        assert!(fct >= 0.0001 && fct < 0.001, "fct = {fct}");
+    }
+
+    #[test]
+    fn link_bytes_accumulate() {
+        let topo = Topology::star(3, 1e9);
+        let report = simulate(&topo, &[flow(0, 1, 1000, 0)], SimOptions::default());
+        let carried: u64 = report.link_bytes.iter().sum();
+        assert_eq!(carried, 2000, "two hops, 1000 bytes each");
+    }
+
+    #[test]
+    fn oversubscribed_core_slows_cross_rack_traffic() {
+        // 4:1 oversubscription: cross-rack flows see a quarter of the
+        // rate once enough of them compete for the uplink.
+        let nb = Topology::leaf_spine(2, 4, 1, 1e9, 1.0);
+        let os = Topology::leaf_spine(2, 4, 1, 1e9, 4.0);
+        let flows: Vec<FlowSpec> =
+            (0..4).map(|i| flow(i, 4 + i, 125_000_000, 0)).collect();
+        let fast = simulate(&nb, &flows, SimOptions::default());
+        let slow = simulate(&os, &flows, SimOptions::default());
+        let fast_mean: f64 = fast.fcts().iter().sum::<f64>() / 4.0;
+        let slow_mean: f64 = slow.fcts().iter().sum::<f64>() / 4.0;
+        assert!(
+            slow_mean > 3.0 * fast_mean,
+            "oversubscription had no effect: {fast_mean} vs {slow_mean}"
+        );
+    }
+
+    #[test]
+    fn float_residue_does_not_stall_the_clock() {
+        // Regression: a completing flow can leave a sub-epsilon residue
+        // whose drain time rounds to zero at large `now`, stalling the
+        // simulation forever. Many unequal flows sharing links at t≈16 s
+        // reproduce the pathology.
+        let topo = Topology::star(10, 1e9);
+        let mut flows = Vec::new();
+        for i in 0..120u64 {
+            flows.push(FlowSpec {
+                src: HostId((i % 9) as u32),
+                dst: HostId(((i + 1) % 9) as u32),
+                bytes: 100_000_000 + i * 7_919 + i * i * 13,
+                start: SimTime::from_nanos(16_000_000_000 + i * 41_000_000),
+                tag: 0,
+            });
+        }
+        let report = simulate(&topo, &flows, SimOptions::default());
+        assert_eq!(report.results.len(), 120);
+        assert!(report.makespan().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn slow_start_penalizes_short_flows_relatively_more() {
+        let topo = Topology::star(3, 1e9);
+        let opts_ss = SimOptions {
+            tcp_slow_start: true,
+            propagation: Duration::from_millis(1), // RTT = 2 ms
+            ..SimOptions::default()
+        };
+        let opts_fluid = SimOptions {
+            propagation: Duration::from_millis(1),
+            ..SimOptions::default()
+        };
+        let short = [flow(0, 1, 100_000, 0)];
+        let long = [flow(0, 1, 100_000_000, 0)];
+        let rel = |flows: &[FlowSpec]| {
+            let with = simulate(&topo, flows, opts_ss).results[0].fct().as_secs_f64();
+            let without = simulate(&topo, flows, opts_fluid).results[0]
+                .fct()
+                .as_secs_f64();
+            (with - without) / without
+        };
+        let short_penalty = rel(&short);
+        let long_penalty = rel(&long);
+        assert!(short_penalty > 5.0 * long_penalty, "{short_penalty} vs {long_penalty}");
+        assert!(long_penalty >= 0.0);
+    }
+
+    #[test]
+    fn makespan_and_utilisation() {
+        let topo = Topology::star(2, 1e9);
+        let report = simulate(&topo, &[flow(0, 1, 125_000_000, 0)], SimOptions::default());
+        assert!((report.makespan().as_secs_f64() - 1.0).abs() < 0.01);
+        let util = report.peak_link_utilisation(&topo);
+        assert!(util > 0.9 && util <= 1.01, "util = {util}");
+    }
+}

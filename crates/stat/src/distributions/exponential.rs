@@ -1,0 +1,170 @@
+//! Exponential distribution.
+
+use serde::{Deserialize, Serialize};
+
+use super::{check_positive_sample, require_positive, Distribution};
+use crate::Result;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Support: `x >= 0`. The classic memoryless model for inter-arrival times;
+/// in Keddah it is a candidate for flow inter-arrival gaps and control
+/// (heartbeat-adjacent) flow sizes.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_stat::distributions::{Distribution, Exponential};
+///
+/// let d = Exponential::new(2.0).unwrap();
+/// assert!((d.mean() - 0.5).abs() < 1e-12);
+/// assert!((d.cdf(d.quantile(0.3)) - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatError::InvalidParameter`](crate::StatError) if `rate`
+    /// is not finite and positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        Ok(Exponential {
+            rate: require_positive("rate", rate)?,
+        })
+    }
+
+    /// The rate parameter `lambda`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Maximum-likelihood fit: `lambda = 1 / mean(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample is empty, non-finite, or contains a
+    /// non-positive value.
+    pub fn fit_mle(samples: &[f64]) -> Result<Self> {
+        check_positive_sample(samples)?;
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+impl std::fmt::Display for Exponential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Exp(rate={})", self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::StatError;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(matches!(
+            Exponential::new(0.0),
+            Err(StatError::InvalidParameter { name: "rate", .. })
+        ));
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_cdf_quantile_consistent() {
+        let d = Exponential::new(0.7).unwrap();
+        testutil::check_quantile_roundtrip(&d, 1e-10);
+        testutil::check_cdf_monotone(&d);
+        testutil::check_ln_pdf(&d);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Exponential::new(4.0).unwrap();
+        assert!((d.mean() - 0.25).abs() < 1e-12);
+        assert!((d.variance() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let d = Exponential::new(0.5).unwrap();
+        testutil::check_sample_mean(&d, 20_000, 0.05);
+    }
+
+    #[test]
+    fn mle_recovers_rate() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let truth = Exponential::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = Exponential::fit_mle(&xs).unwrap();
+        assert!((fit.rate() - 3.0).abs() < 0.1, "rate={}", fit.rate());
+    }
+
+    #[test]
+    fn mle_rejects_bad_samples() {
+        assert!(matches!(Exponential::fit_mle(&[]), Err(StatError::EmptySample)));
+        assert!(matches!(
+            Exponential::fit_mle(&[1.0, -2.0]),
+            Err(StatError::NonPositiveSample(_))
+        ));
+    }
+
+    #[test]
+    fn outside_support() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.ln_pdf(-1.0), f64::NEG_INFINITY);
+    }
+}

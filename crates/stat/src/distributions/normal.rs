@@ -1,0 +1,154 @@
+//! Normal (Gaussian) distribution.
+
+use serde::{Deserialize, Serialize};
+
+use super::{check_sample, require_finite, require_positive, Distribution};
+use crate::special::{std_normal_cdf, std_normal_quantile};
+use crate::{Result, StatError};
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+///
+/// In Keddah this family is a candidate for aggregate per-task transfer
+/// sizes, which are sums of many block-level transfers and hence
+/// near-Gaussian by the CLT.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_stat::distributions::{Distribution, Normal};
+///
+/// let d = Normal::new(10.0, 2.0).unwrap();
+/// assert!((d.cdf(10.0) - 0.5).abs() < 1e-12);
+/// assert!((d.quantile(0.975) - 13.92).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mu` is non-finite or `sigma` is not finite and
+    /// positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        Ok(Normal {
+            mu: require_finite("mu", mu)?,
+            sigma: require_positive("sigma", sigma)?,
+        })
+    }
+
+    /// The location parameter `mu`.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The scale parameter `sigma`.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Maximum-likelihood fit: sample mean and (biased) sample standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample is empty, non-finite, or has zero
+    /// variance.
+    pub fn fit_mle(samples: &[f64]) -> Result<Self> {
+        check_sample(samples)?;
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        if var <= 0.0 {
+            return Err(StatError::DegenerateSample("zero variance"));
+        }
+        Normal::new(mean, var.sqrt())
+    }
+}
+
+impl Distribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+impl std::fmt::Display for Normal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Normal(mu={}, sigma={})", self.mu, self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn consistency() {
+        let d = Normal::new(3.0, 1.5).unwrap();
+        testutil::check_quantile_roundtrip(&d, 1e-8);
+        testutil::check_cdf_monotone(&d);
+        testutil::check_ln_pdf(&d);
+        testutil::check_sample_mean(&d, 20_000, 0.05);
+    }
+
+    #[test]
+    fn known_density() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        // phi(0) = 1/sqrt(2 pi)
+        let expect = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((d.pdf(0.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_params() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let truth = Normal::new(-2.0, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = Normal::fit_mle(&xs).unwrap();
+        assert!((fit.mu() + 2.0).abs() < 0.05);
+        assert!((fit.sigma() - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn mle_rejects_constant_sample() {
+        assert!(Normal::fit_mle(&[5.0; 10]).is_err());
+    }
+}

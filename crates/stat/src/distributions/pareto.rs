@@ -1,0 +1,178 @@
+//! Pareto (type I) distribution.
+
+use serde::{Deserialize, Serialize};
+
+use super::{check_positive_sample, require_positive, Distribution};
+use crate::{Result, StatError};
+
+/// Pareto type-I distribution with scale `xm` (minimum) and shape `alpha`.
+///
+/// Support: `x >= xm`. The canonical heavy-tail model; in traffic
+/// measurement it captures elephant-flow size distributions. Keddah fits it
+/// to HDFS bulk-transfer sizes where a block-size floor plus a long tail is
+/// exactly the Pareto shape.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_stat::distributions::{Distribution, Pareto};
+///
+/// let d = Pareto::new(1.0, 2.0).unwrap();
+/// assert_eq!(d.cdf(1.0), 0.0);
+/// assert!((d.cdf(2.0) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with minimum `xm` and tail index
+    /// `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either parameter is not finite and positive.
+    pub fn new(xm: f64, alpha: f64) -> Result<Self> {
+        Ok(Pareto {
+            xm: require_positive("xm", xm)?,
+            alpha: require_positive("alpha", alpha)?,
+        })
+    }
+
+    /// The scale (minimum value) parameter.
+    #[must_use]
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+
+    /// The tail index.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Maximum-likelihood fit: `xm = min(x)`,
+    /// `alpha = n / sum(ln(x / xm))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/non-positive samples or if all samples
+    /// are identical (the tail index would be infinite).
+    pub fn fit_mle(samples: &[f64]) -> Result<Self> {
+        check_positive_sample(samples)?;
+        let xm = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let log_sum: f64 = samples.iter().map(|&x| (x / xm).ln()).sum();
+        if log_sum <= 0.0 {
+            return Err(StatError::DegenerateSample("all values identical"));
+        }
+        Pareto::new(xm, samples.len() as f64 / log_sum)
+    }
+}
+
+impl Distribution for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            self.alpha * self.xm.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            f64::NEG_INFINITY
+        } else {
+            self.alpha.ln() + self.alpha * self.xm.ln() - (self.alpha + 1.0) * x.ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.xm {
+            0.0
+        } else {
+            1.0 - (self.xm / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+        self.xm / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.xm * self.xm * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+}
+
+impl std::fmt::Display for Pareto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pareto(xm={}, alpha={})", self.xm, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn consistency() {
+        let d = Pareto::new(2.0, 2.5).unwrap();
+        testutil::check_quantile_roundtrip(&d, 1e-10);
+        testutil::check_cdf_monotone(&d);
+        testutil::check_ln_pdf(&d);
+        testutil::check_sample_mean(&d, 50_000, 0.1);
+    }
+
+    #[test]
+    fn infinite_moments() {
+        assert_eq!(Pareto::new(1.0, 0.9).unwrap().mean(), f64::INFINITY);
+        assert_eq!(Pareto::new(1.0, 1.5).unwrap().variance(), f64::INFINITY);
+        assert!(Pareto::new(1.0, 3.0).unwrap().variance().is_finite());
+    }
+
+    #[test]
+    fn mle_recovers_params() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let truth = Pareto::new(3.0, 2.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = Pareto::fit_mle(&xs).unwrap();
+        assert!((fit.xm() - 3.0).abs() < 0.01, "xm={}", fit.xm());
+        assert!((fit.alpha() - 2.2).abs() < 0.05, "alpha={}", fit.alpha());
+    }
+
+    #[test]
+    fn mle_rejects_degenerate() {
+        assert!(Pareto::fit_mle(&[2.0; 5]).is_err());
+    }
+
+    #[test]
+    fn outside_support() {
+        let d = Pareto::new(5.0, 1.0).unwrap();
+        assert_eq!(d.pdf(4.0), 0.0);
+        assert_eq!(d.cdf(5.0), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Continuous uniform distribution.
+
+use serde::{Deserialize, Serialize};
+
+use super::{check_sample, require_finite, Distribution};
+use crate::{Result, StatError};
+
+/// Continuous uniform distribution on `[low, high]`.
+///
+/// In Keddah this family models bounded quantities such as fixed-size
+/// control exchanges with jitter.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_stat::distributions::{Distribution, Uniform};
+///
+/// let d = Uniform::new(1.0, 3.0).unwrap();
+/// assert_eq!(d.mean(), 2.0);
+/// assert_eq!(d.cdf(2.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either bound is non-finite or `low >= high`.
+    pub fn new(low: f64, high: f64) -> Result<Self> {
+        let low = require_finite("low", low)?;
+        let high = require_finite("high", high)?;
+        if low >= high {
+            return Err(StatError::InvalidParameter {
+                name: "high",
+                value: high,
+            });
+        }
+        Ok(Uniform { low, high })
+    }
+
+    /// Lower bound of the support.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the support.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Maximum-likelihood fit: the sample min/max.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample is empty, non-finite, or degenerate
+    /// (all values identical, so the support would be empty).
+    pub fn fit_mle(samples: &[f64]) -> Result<Self> {
+        check_sample(samples)?;
+        let low = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let high = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if low == high {
+            return Err(StatError::DegenerateSample("all values identical"));
+        }
+        Uniform::new(low, high)
+    }
+}
+
+impl Distribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.low || x > self.high {
+            0.0
+        } else {
+            1.0 / (self.high - self.low)
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.low || x > self.high {
+            f64::NEG_INFINITY
+        } else {
+            -(self.high - self.low).ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (x - self.low) / (self.high - self.low)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+        self.low + p * (self.high - self.low)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+}
+
+impl std::fmt::Display for Uniform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Uniform({}, {})", self.low, self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        assert!(Uniform::new(3.0, 1.0).is_err());
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn consistency() {
+        let d = Uniform::new(-2.0, 5.0).unwrap();
+        testutil::check_quantile_roundtrip(&d, 1e-12);
+        testutil::check_cdf_monotone(&d);
+        testutil::check_ln_pdf(&d);
+        testutil::check_sample_mean(&d, 20_000, 0.05);
+    }
+
+    #[test]
+    fn mle_covers_sample() {
+        let xs = [3.0, 1.0, 2.5, 1.7];
+        let d = Uniform::fit_mle(&xs).unwrap();
+        assert_eq!(d.low(), 1.0);
+        assert_eq!(d.high(), 3.0);
+    }
+
+    #[test]
+    fn mle_rejects_degenerate() {
+        assert!(matches!(
+            Uniform::fit_mle(&[2.0, 2.0, 2.0]),
+            Err(crate::StatError::DegenerateSample(_))
+        ));
+    }
+
+    #[test]
+    fn outside_support() {
+        let d = Uniform::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-0.5), 0.0);
+        assert_eq!(d.pdf(1.5), 0.0);
+        assert_eq!(d.cdf(-0.5), 0.0);
+        assert_eq!(d.cdf(1.5), 1.0);
+    }
+}

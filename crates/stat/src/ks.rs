@@ -1,0 +1,255 @@
+//! Kolmogorov–Smirnov goodness-of-fit tests.
+//!
+//! Keddah judges candidate distribution families by the KS statistic
+//! against the empirical sample (one-sample test) and validates generated
+//! traffic against captured traffic with the two-sample test.
+
+use crate::{Result, StatError};
+
+/// The outcome of a KS test: the supremum distance and an asymptotic
+/// p-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F1 - F2|`.
+    pub statistic: f64,
+    /// Asymptotic p-value from the Kolmogorov distribution; small values
+    /// reject the hypothesis that the sample follows the reference.
+    pub p_value: f64,
+}
+
+/// One-sample KS test of `samples` against a reference CDF.
+///
+/// `cdf` must be a valid CDF (monotone, into `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns [`StatError::EmptySample`] if `samples` is empty or
+/// [`StatError::InvalidParameter`] if a sample is non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_stat::ks::ks_one_sample;
+///
+/// // A uniform grid on (0,1) against the uniform CDF: tiny distance.
+/// let xs: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+/// let r = ks_one_sample(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+/// assert!(r.statistic < 0.02);
+/// ```
+pub fn ks_one_sample<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<KsResult> {
+    if samples.is_empty() {
+        return Err(StatError::EmptySample);
+    }
+    let mut sorted = samples.to_vec();
+    for &x in &sorted {
+        if !x.is_finite() {
+            return Err(StatError::InvalidParameter {
+                name: "sample",
+                value: x,
+            });
+        }
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    // Group tied sample values so reference distributions with point
+    // masses (e.g. the empirical quantile-table model on block-sized
+    // flows) are compared correctly: at a distinct value v, the lower
+    // comparison uses F(v^-), the upper uses F(v).
+    let mut i = 0;
+    while i < sorted.len() {
+        let v = sorted[i];
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == v {
+            j += 1;
+        }
+        let lo = i as f64 / n;
+        let hi = j as f64 / n;
+        let f_at = cdf(v);
+        let delta = (v.abs() * 1e-12).max(f64::MIN_POSITIVE);
+        let f_before = cdf(v - delta);
+        d = d.max((f_before - lo).abs()).max((hi - f_at).abs());
+        i = j;
+    }
+    let p_value = kolmogorov_sf(d * (n.sqrt() + 0.12 + 0.11 / n.sqrt()));
+    Ok(KsResult {
+        statistic: d,
+        p_value,
+    })
+}
+
+/// Two-sample KS test.
+///
+/// # Errors
+///
+/// Returns [`StatError::EmptySample`] if either sample is empty, or
+/// [`StatError::InvalidParameter`] on non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_stat::ks::ks_two_sample;
+///
+/// let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+/// let r = ks_two_sample(&a, &b).unwrap();
+/// assert!(r.statistic < 0.05);
+/// ```
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsResult> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatError::EmptySample);
+    }
+    for &x in a.iter().chain(b.iter()) {
+        if !x.is_finite() {
+            return Err(StatError::InvalidParameter {
+                name: "sample",
+                value: x,
+            });
+        }
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let xa = sa[i];
+        let xb = sb[j];
+        let x = xa.min(xb);
+        while i < na && sa[i] <= x {
+            i += 1;
+        }
+        while j < nb && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let p_value = kolmogorov_sf(d * (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()));
+    Ok(KsResult {
+        statistic: d,
+        p_value,
+    })
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(t) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 t^2)`.
+#[must_use]
+pub fn kolmogorov_sf(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    if t > 8.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Distribution, Exponential, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_sample_accepts_true_model() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_one_sample(&xs, |x| d.cdf(x)).unwrap();
+        assert!(r.statistic < 0.04, "D={}", r.statistic);
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn one_sample_rejects_wrong_model() {
+        let d = Exponential::new(1.0).unwrap();
+        let wrong = Normal::new(5.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_one_sample(&xs, |x| wrong.cdf(x)).unwrap();
+        assert!(r.statistic > 0.5, "D={}", r.statistic);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn two_sample_same_distribution() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: Vec<f64> = (0..3000).map(|_| d.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..3000).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic < 0.05, "D={}", r.statistic);
+        assert!(r.p_value > 0.01);
+    }
+
+    #[test]
+    fn two_sample_shifted_distribution() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let a: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let b: Vec<f64> = a.iter().map(|&x| x + 1.0).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic > 0.3, "D={}", r.statistic);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn two_sample_is_symmetric() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.5, 2.5, 3.5, 4.5];
+        let r1 = ks_two_sample(&a, &b).unwrap();
+        let r2 = ks_two_sample(&b, &a).unwrap();
+        assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(ks_one_sample(&[], |x| x).is_err());
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+        assert!(ks_two_sample(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn one_sample_handles_atomic_reference() {
+        use crate::distributions::Empirical;
+        // 80% point mass at 128, 20% spread: the empirical model of its
+        // own sample must score a near-zero KS distance.
+        let mut xs = vec![128.0; 800];
+        xs.extend((0..200).map(|i| 1.0 + i as f64 * 0.1));
+        let d = Empirical::fit(&xs).unwrap();
+        let r = ks_one_sample(&xs, |x| d.cdf(x)).unwrap();
+        assert!(r.statistic < 0.05, "D = {}", r.statistic);
+    }
+
+    #[test]
+    fn kolmogorov_sf_bounds() {
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert_eq!(kolmogorov_sf(-1.0), 1.0);
+        assert_eq!(kolmogorov_sf(100.0), 0.0);
+        // Known value: Q(1.0) ~ 0.27.
+        assert!((kolmogorov_sf(1.0) - 0.27).abs() < 0.01);
+        // Monotone decreasing.
+        let mut prev = 1.0;
+        for i in 1..80 {
+            let q = kolmogorov_sf(i as f64 * 0.1);
+            assert!(q <= prev + 1e-15);
+            prev = q;
+        }
+    }
+}

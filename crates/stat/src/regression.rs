@@ -1,0 +1,206 @@
+//! Regression helpers for Keddah's traffic scaling laws.
+//!
+//! Keddah relates traffic volume (and flow counts) to job covariates —
+//! input size, reducer count, replication factor. Two shapes cover what
+//! the models need: ordinary least squares for linear relationships and a
+//! log-log power law `y = a * x^b` for the input-size scaling of traffic
+//! volume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatError};
+
+/// The result of an ordinary least squares fit `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 means a perfect fit).
+    pub r_squared: f64,
+}
+
+impl Linear {
+    /// Fits `y = intercept + slope * x` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatError::EmptySample`] if fewer than two points are
+    /// given or the lengths differ, [`StatError::InvalidParameter`] on
+    /// non-finite input, and [`StatError::DegenerateSample`] if all `x`
+    /// are identical.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use keddah_stat::regression::Linear;
+    ///
+    /// let x = [1.0, 2.0, 3.0, 4.0];
+    /// let y = [3.0, 5.0, 7.0, 9.0];
+    /// let fit = Linear::fit(&x, &y).unwrap();
+    /// assert!((fit.slope - 2.0).abs() < 1e-12);
+    /// assert!((fit.intercept - 1.0).abs() < 1e-12);
+    /// assert!(fit.r_squared > 0.999999);
+    /// ```
+    pub fn fit(x: &[f64], y: &[f64]) -> Result<Self> {
+        if x.len() != y.len() || x.len() < 2 {
+            return Err(StatError::EmptySample);
+        }
+        for &v in x.iter().chain(y.iter()) {
+            if !v.is_finite() {
+                return Err(StatError::InvalidParameter {
+                    name: "point",
+                    value: v,
+                });
+            }
+        }
+        let n = x.len() as f64;
+        let mean_x = x.iter().sum::<f64>() / n;
+        let mean_y = y.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&xi, &yi) in x.iter().zip(y) {
+            let dx = xi - mean_x;
+            let dy = yi - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return Err(StatError::DegenerateSample("all x values identical"));
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r_squared = if syy == 0.0 {
+            1.0 // y is constant and perfectly predicted by the intercept
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Ok(Linear {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Predicts `y` at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// The result of a power-law fit `y = scale * x^exponent`, obtained by OLS
+/// in log-log space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLaw {
+    /// Multiplicative scale `a`.
+    pub scale: f64,
+    /// Exponent `b`.
+    pub exponent: f64,
+    /// R² of the underlying log-log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLaw {
+    /// Fits `y = a * x^b` by linear regression on `(ln x, ln y)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Linear::fit`], plus [`StatError::NonPositiveSample`] if any
+    /// `x` or `y` is not strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use keddah_stat::regression::PowerLaw;
+    ///
+    /// let x = [1.0, 2.0, 4.0, 8.0];
+    /// let y: Vec<f64> = x.iter().map(|&v: &f64| 3.0 * v.powf(1.5)).collect();
+    /// let fit = PowerLaw::fit(&x, &y).unwrap();
+    /// assert!((fit.scale - 3.0).abs() < 1e-9);
+    /// assert!((fit.exponent - 1.5).abs() < 1e-9);
+    /// ```
+    pub fn fit(x: &[f64], y: &[f64]) -> Result<Self> {
+        for &v in x.iter().chain(y.iter()) {
+            if v <= 0.0 {
+                return Err(StatError::NonPositiveSample(v));
+            }
+        }
+        let lx: Vec<f64> = x.iter().map(|&v| v.ln()).collect();
+        let ly: Vec<f64> = y.iter().map(|&v| v.ln()).collect();
+        let lin = Linear::fit(&lx, &ly)?;
+        Ok(PowerLaw {
+            scale: lin.intercept.exp(),
+            exponent: lin.slope,
+            r_squared: lin.r_squared,
+        })
+    }
+
+    /// Predicts `y` at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.scale * x.powf(self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_exact_fit() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [1.0, 3.0, 5.0];
+        let f = Linear::fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_noisy_fit_r2() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 5.0 * v + 2.0 + if v as usize % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = Linear::fit(&x, &y).unwrap();
+        assert!((f.slope - 5.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn linear_rejects_degenerate() {
+        assert!(Linear::fit(&[1.0], &[1.0]).is_err());
+        assert!(Linear::fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(Linear::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(Linear::fit(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn linear_constant_y() {
+        let f = Linear::fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_roundtrip() {
+        let x = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| 0.5 * v.powf(2.0)).collect();
+        let f = PowerLaw::fit(&x, &y).unwrap();
+        assert!((f.scale - 0.5).abs() < 1e-9);
+        assert!((f.exponent - 2.0).abs() < 1e-9);
+        assert!((f.predict(32.0) - 512.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(PowerLaw::fit(&[0.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(PowerLaw::fit(&[1.0, 2.0], &[-1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Benchmark session: the classic `teragen → terasort` flow as one
+//! capture.
+//!
+//! Real benchmarking sessions first *load* HDFS (TeraGen: pure replicated
+//! writes) and then *sort* the generated data (TeraSort reads exactly the
+//! blocks TeraGen placed). This example runs the chained session, shows
+//! how the traffic mix flips between the phases, and fits a model of the
+//! session as a whole.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_session
+//! ```
+
+use keddah::des::Duration;
+use keddah::flowcap::Component;
+use keddah::hadoop::{run_session, ClusterSpec, HadoopConfig, JobSpec, Workload};
+
+fn main() {
+    let cluster = ClusterSpec::racks(4, 4);
+    let config = HadoopConfig::default();
+    let session = run_session(
+        &cluster,
+        &config,
+        &[
+            JobSpec::new(Workload::TeraGen, 4 << 30),
+            JobSpec::new(Workload::TeraSort, 4 << 30),
+        ],
+        7,
+    );
+
+    println!(
+        "session `{}`: {} flows, {:.2} GB on the wire",
+        session.trace.meta().workload,
+        session.trace.len(),
+        session.trace.total_bytes() as f64 / 1e9
+    );
+    for (i, (end, counters)) in session
+        .job_ends
+        .iter()
+        .zip(&session.counters)
+        .enumerate()
+    {
+        println!(
+            "  job {i}: done at {:.1} s — {} maps, {} reducers, {:.2} GB written, {:.2} GB shuffled",
+            end.as_secs_f64(),
+            counters.maps,
+            counters.reducers,
+            counters.hdfs_write_bytes as f64 / 1e9,
+            counters.shuffle_bytes as f64 / 1e9
+        );
+    }
+
+    // The phase flip: write-dominated first half, shuffle-heavy second.
+    let timeline = session.trace.timeline(Duration::from_secs(10));
+    println!("\n{:>7} {:>12} {:>12} {:>12}", "t (s)", "write MB", "shuffle MB", "read MB");
+    let writes = timeline.series(Component::HdfsWrite);
+    let shuffles = timeline.series(Component::Shuffle);
+    let reads = timeline.series(Component::HdfsRead);
+    for (i, bin) in timeline.bins.iter().enumerate() {
+        println!(
+            "{:>7.0} {:>12.1} {:>12.1} {:>12.1}",
+            bin.start.as_secs_f64(),
+            writes[i] as f64 / 1e6,
+            shuffles[i] as f64 / 1e6,
+            reads[i] as f64 / 1e6
+        );
+    }
+    println!(
+        "\nExpected shape: pure writes while TeraGen loads HDFS, then the\n\
+         familiar shuffle plateau and output-write burst as TeraSort runs\n\
+         over the freshly generated blocks."
+    );
+}

@@ -1,0 +1,70 @@
+//! Model zoo: build a library of Keddah models for every workload.
+//!
+//! This is the "enabling reproducible Hadoop research" use-case from the
+//! paper's abstract: capture each HiBench-style job type once, fit its
+//! traffic model, and save the models as JSON artefacts that other
+//! researchers (or the replay examples) can load without ever running
+//! Hadoop.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo
+//! ```
+//!
+//! Models are written to `target/keddah-models/<workload>.json`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use keddah::core::pipeline::Keddah;
+use keddah::core::KeddahModel;
+use keddah::hadoop::{ClusterSpec, HadoopConfig, JobSpec, Workload};
+
+fn main() {
+    let cluster = ClusterSpec::racks(4, 4); // 16 workers
+    let config = HadoopConfig::default();
+    let out_dir = PathBuf::from("target/keddah-models");
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    println!(
+        "{:<10} {:>6} {:>10} {:>22} {:>8}",
+        "workload", "flows", "GB/job", "shuffle size family", "KS"
+    );
+    for &workload in Workload::ALL {
+        let job = JobSpec::new(workload, 2 << 30);
+        let traces = Keddah::capture(&cluster, &config, &job, 5, 1000);
+        let model = Keddah::fit(&traces).expect("every workload is modellable");
+
+        let flows: usize = traces.iter().map(|t| t.len()).sum::<usize>() / traces.len();
+        let bytes = traces
+            .iter()
+            .map(|t| t.total_bytes() as f64)
+            .sum::<f64>()
+            / traces.len() as f64;
+        let shuffle = model
+            .component(keddah::flowcap::Component::Shuffle)
+            .map(|c| (c.size_dist.to_string(), c.size_fit.ks_statistic));
+        let (family, ks) = shuffle.unwrap_or_else(|| ("(negligible)".into(), f64::NAN));
+        println!(
+            "{:<10} {:>6} {:>10.2} {:>22} {:>8.3}",
+            workload.name(),
+            flows,
+            bytes / 1e9,
+            family,
+            ks
+        );
+
+        let path = out_dir.join(format!("{}.json", workload.name()));
+        fs::write(&path, model.to_json()).expect("write model");
+    }
+    println!("\nmodels written to {}", out_dir.display());
+
+    // Demonstrate the consumer side: load one back and use it.
+    let json = fs::read_to_string(out_dir.join("terasort.json")).expect("model exists");
+    let model = KeddahModel::from_json(&json).expect("model parses");
+    let job = model.generate_job(1);
+    println!(
+        "loaded terasort model and generated {} flows ({:.2} GB) from JSON alone",
+        job.flows.len(),
+        job.total_bytes() as f64 / 1e9
+    );
+}

@@ -1,0 +1,127 @@
+//! `keddah capture` — run simulated jobs and write capture traces.
+
+use std::fs;
+use std::path::PathBuf;
+
+use keddah_hadoop::{run_job_with_packets, ClusterSpec, HadoopConfig, JobSpec, Workload};
+
+use super::{err, Args, Result};
+
+const HELP: &str = "\
+keddah capture — run simulated Hadoop jobs and write capture traces
+
+USAGE:
+    keddah capture --workload <NAME> [FLAGS]
+
+FLAGS:
+    --workload <NAME>      wordcount|terasort|pagerank|kmeans|bayes|grep (required)
+    --input-gb <N>         input size in GiB            [default: 2]
+    --racks <N>            racks of workers             [default: 4]
+    --nodes-per-rack <N>   workers per rack             [default: 5]
+    --reducers <N>         reduce tasks                 [default: 8]
+    --replication <N>      HDFS replication factor      [default: 3]
+    --block-mb <N>         HDFS block size in MiB       [default: 128]
+    --repeats <N>          runs to capture              [default: 5]
+    --seed <N>             base seed                    [default: 1]
+    --out <DIR>            output directory             [default: .]
+    --packets-out <DIR>    also write tcpdump-style packet text here";
+
+const FLAGS: &[&str] = &[
+    "workload",
+    "input-gb",
+    "racks",
+    "nodes-per-rack",
+    "reducers",
+    "replication",
+    "block-mb",
+    "repeats",
+    "seed",
+    "out",
+    "packets-out",
+];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns an error for bad flags, invalid configuration, or I/O
+/// failure.
+pub fn run(args: &Args) -> Result<()> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    args.check_known(FLAGS)?;
+    let workload_name = args.require("workload")?;
+    let workload = Workload::from_name(workload_name).ok_or_else(|| {
+        err(format!(
+            "unknown workload `{workload_name}` (expected one of: {})",
+            Workload::ALL
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+    let input_gb: f64 = args.get_num("input-gb", 2.0)?;
+    if input_gb <= 0.0 {
+        return Err(err("--input-gb must be positive"));
+    }
+    let cluster = ClusterSpec::racks(
+        args.get_num("racks", 4u32)?.max(1),
+        args.get_num("nodes-per-rack", 5u32)?.max(1),
+    );
+    let config = HadoopConfig::default()
+        .with_reducers(args.get_num("reducers", 8u32)?)
+        .with_replication(args.get_num("replication", 3u16)?)
+        .with_block_bytes(args.get_num("block-mb", 128u64)? << 20);
+    config
+        .validate()
+        .map_err(|e| err(format!("invalid configuration: {e}")))?;
+    let repeats: u32 = args.get_num("repeats", 5u32)?;
+    let seed: u64 = args.get_num("seed", 1u64)?;
+    let out_dir = PathBuf::from(args.get_or("out", "."));
+    fs::create_dir_all(&out_dir)?;
+
+    let packets_dir = args.get("packets-out").map(PathBuf::from);
+    if let Some(dir) = &packets_dir {
+        fs::create_dir_all(dir)?;
+    }
+
+    let job = JobSpec::new(workload, (input_gb * (1u64 << 30) as f64) as u64);
+    eprintln!(
+        "capturing {repeats} run(s) of {job} on {} workers...",
+        cluster.worker_count()
+    );
+    for i in 0..repeats {
+        let run_seed = seed + u64::from(i);
+        let (run, packets) = run_job_with_packets(&cluster, &config, &job, run_seed);
+        let stem = format!(
+            "{}_{:.0}gb_r{}_seed{}",
+            workload.name(),
+            input_gb,
+            config.reducers,
+            run_seed
+        );
+        let path = out_dir.join(format!("{stem}.jsonl"));
+        let file = fs::File::create(&path)?;
+        run.trace
+            .write_jsonl(std::io::BufWriter::new(file))
+            .map_err(|e| err(format!("writing {}: {e}", path.display())))?;
+        if let Some(dir) = &packets_dir {
+            let ppath = dir.join(format!("{stem}.txt"));
+            let pfile = fs::File::create(&ppath)?;
+            keddah_flowcap::tcpdump::write_text(&packets, std::io::BufWriter::new(pfile))
+                .map_err(|e| err(format!("writing {}: {e}", ppath.display())))?;
+        }
+        eprintln!(
+            "  {} ({} flows, {} packets, {:.2} GB, makespan {:.1} s)",
+            path.display(),
+            run.trace.len(),
+            packets.len(),
+            run.trace.total_bytes() as f64 / 1e9,
+            run.duration.as_secs_f64()
+        );
+    }
+    Ok(())
+}

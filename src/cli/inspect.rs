@@ -1,0 +1,71 @@
+//! `keddah inspect` — print a human-readable model card.
+
+use std::fs;
+
+use keddah_core::KeddahModel;
+
+use super::{err, Args, Result};
+
+const HELP: &str = "\
+keddah inspect — print a model card for a fitted Keddah model
+
+USAGE:
+    keddah inspect <MODEL.json>";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns an error if the model cannot be read or parsed.
+pub fn run(args: &Args) -> Result<()> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    args.check_known(&[])?;
+    let [path] = args.positional() else {
+        return Err(err("expected exactly one model file"));
+    };
+    let json = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
+
+    println!("Keddah model: {}", model.workload);
+    println!(
+        "  trained on : {} run(s), {:.2} GiB input, {} workers",
+        model.runs,
+        model.input_bytes as f64 / (1u64 << 30) as f64,
+        model.nodes
+    );
+    println!(
+        "  config     : {} reducers, replication {}, {} MiB blocks",
+        model.reducers,
+        model.replication,
+        model.block_bytes >> 20
+    );
+    println!(
+        "  makespan   : {:.1} s (sd {:.1} s)",
+        model.makespan.mean, model.makespan.std
+    );
+    println!(
+        "  expected   : {:.2} GB generated per job",
+        model.expected_job_bytes() / 1e9
+    );
+    println!("  components :");
+    for (component, cm) in &model.components {
+        println!(
+            "    {:<11} {:>8.1} flows/job  size ~ {}  [KS {:.3}]",
+            component.name(),
+            cm.count.mean,
+            cm.size_dist,
+            cm.size_fit.ks_statistic
+        );
+        println!(
+            "    {:<11} {:>8} arrivals ~ {}  [KS {:.3}]",
+            "",
+            "",
+            cm.start_dist,
+            cm.start_fit.ks_statistic
+        );
+    }
+    Ok(())
+}

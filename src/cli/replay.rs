@@ -1,0 +1,111 @@
+//! `keddah replay` — replay traffic on a simulated topology.
+
+use std::fs;
+
+use keddah_core::replay::{replay_jobs, replay_trace};
+use keddah_core::KeddahModel;
+use keddah_flowcap::Trace;
+use keddah_netsim::SimOptions;
+
+use super::topo_spec::parse_topology;
+use super::{err, Args, Result};
+
+const HELP: &str = "\
+keddah replay — replay generated or captured traffic on a topology
+
+USAGE:
+    keddah replay --model <MODEL.json> --topology <SPEC> [FLAGS]
+    keddah replay --trace <TRACE.jsonl> --topology <SPEC> [FLAGS]
+
+FLAGS:
+    --model <FILE>      generate jobs from this model and replay them
+    --trace <FILE>      replay this capture trace instead
+    --topology <SPEC>   star:<hosts>[:<rate>]
+                        leaf-spine:<racks>x<hosts>x<spines>[:<rate>[:<oversub>]]
+                        fat-tree:<k>[:<rate>]           (required)
+    --jobs <N>          jobs to generate (model mode)   [default: 1]
+    --seed <N>          generation seed                 [default: 1]
+    --stagger-secs <S>  offset between jobs             [default: 10]
+    --mouse-bytes <N>   mice fast-path threshold        [default: 10000]";
+
+const FLAGS: &[&str] = &[
+    "model",
+    "trace",
+    "topology",
+    "jobs",
+    "seed",
+    "stagger-secs",
+    "mouse-bytes",
+];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns an error for conflicting inputs, bad topology specs, or
+/// traffic that does not fit the topology.
+pub fn run(args: &Args) -> Result<()> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    args.check_known(FLAGS)?;
+    let topo = parse_topology(args.require("topology")?)?;
+    let options = SimOptions {
+        mouse_threshold: args.get_num("mouse-bytes", 10_000u64)?,
+        ..SimOptions::default()
+    };
+
+    let report = match (args.get("model"), args.get("trace")) {
+        (Some(_), Some(_)) => {
+            return Err(err("give either --model or --trace, not both"));
+        }
+        (Some(model_path), None) => {
+            let json = fs::read_to_string(model_path)
+                .map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
+            let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
+            let jobs = model.generate_jobs(
+                args.get_num("jobs", 1u32)?.max(1),
+                args.get_num("seed", 1u64)?,
+                args.get_num("stagger-secs", 10.0f64)?,
+            );
+            replay_jobs(&jobs, &topo, options).map_err(|e| err(e.to_string()))?
+        }
+        (None, Some(trace_path)) => {
+            let file = fs::File::open(trace_path)
+                .map_err(|e| err(format!("cannot open {trace_path}: {e}")))?;
+            let trace = Trace::read_jsonl(std::io::BufReader::new(file))
+                .map_err(|e| err(format!("cannot parse {trace_path}: {e}")))?;
+            replay_trace(&trace, &topo, options).map_err(|e| err(e.to_string()))?
+        }
+        (None, None) => {
+            return Err(err("need --model or --trace; run `keddah replay --help`"));
+        }
+    };
+
+    println!(
+        "replayed {} flows on {} (makespan {:.1} s, peak link {:.1}%)",
+        report.sim.results.len(),
+        topo.name(),
+        report.makespan_secs(),
+        report.sim.peak_link_utilisation(&topo) * 100.0
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "component", "flows", "p50 (s)", "p95 (s)", "p99 (s)"
+    );
+    for (component, fcts) in &report.fct_by_component {
+        let mut sorted = fcts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        println!(
+            "{:<12} {:>8} {:>10.4} {:>10.4} {:>10.4}",
+            component.name(),
+            sorted.len(),
+            q(0.5),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! Topology specification strings for the `replay` subcommand.
+//!
+//! ```text
+//! star:24                          24 hosts on one switch, 1 Gb/s
+//! star:24:10gbps                   same at 10 Gb/s
+//! leaf-spine:6x4x3                 6 racks x 4 hosts, 3 spines, 1:1
+//! leaf-spine:6x4x3:1gbps:4.0       ... 4:1 oversubscribed
+//! fat-tree:4                       k=4 fat-tree, 1 Gb/s links
+//! ```
+
+use keddah_netsim::Topology;
+
+use super::{err, Result};
+
+/// Parses a link-rate token such as `1gbps`, `10gbps`, `100mbps`.
+fn parse_rate(token: &str) -> Result<f64> {
+    let lower = token.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix("gbps") {
+        (d, 1e9)
+    } else if let Some(d) = lower.strip_suffix("mbps") {
+        (d, 1e6)
+    } else {
+        return Err(err(format!(
+            "bad link rate `{token}` (expected e.g. 1gbps, 100mbps)"
+        )));
+    };
+    let value: f64 = digits
+        .parse()
+        .map_err(|_| err(format!("bad link rate `{token}`")))?;
+    if value <= 0.0 {
+        return Err(err(format!("link rate must be positive, got `{token}`")));
+    }
+    Ok(value * mult)
+}
+
+/// Parses a topology specification string.
+///
+/// # Errors
+///
+/// Returns a descriptive error for malformed specifications.
+pub fn parse_topology(spec: &str) -> Result<Topology> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.first().copied() {
+        Some("star") => {
+            let hosts: u32 = parts
+                .get(1)
+                .ok_or_else(|| err("star needs a host count: star:<hosts>[:<rate>]"))?
+                .parse()
+                .map_err(|_| err(format!("bad host count in `{spec}`")))?;
+            let rate = match parts.get(2) {
+                Some(r) => parse_rate(r)?,
+                None => 1e9,
+            };
+            if hosts == 0 {
+                return Err(err("star needs at least one host"));
+            }
+            Ok(Topology::star(hosts, rate))
+        }
+        Some("leaf-spine") => {
+            let dims = parts.get(1).ok_or_else(|| {
+                err("leaf-spine needs dimensions: leaf-spine:<racks>x<hosts>x<spines>[:<rate>[:<oversub>]]")
+            })?;
+            let d: Vec<u32> = dims
+                .split('x')
+                .map(|p| p.parse().map_err(|_| err(format!("bad dimensions `{dims}`"))))
+                .collect::<Result<_>>()?;
+            let [racks, hosts, spines] = d.as_slice() else {
+                return Err(err(format!(
+                    "leaf-spine dimensions must be RxHxS, got `{dims}`"
+                )));
+            };
+            if *racks == 0 || *hosts == 0 || *spines == 0 {
+                return Err(err("leaf-spine dimensions must be positive"));
+            }
+            let rate = match parts.get(2) {
+                Some(r) => parse_rate(r)?,
+                None => 1e9,
+            };
+            let oversub: f64 = match parts.get(3) {
+                Some(o) => o
+                    .parse()
+                    .map_err(|_| err(format!("bad oversubscription `{o}`")))?,
+                None => 1.0,
+            };
+            if oversub <= 0.0 {
+                return Err(err("oversubscription must be positive"));
+            }
+            Ok(Topology::leaf_spine(*racks, *hosts, *spines, rate, oversub))
+        }
+        Some("fat-tree") => {
+            let k: u32 = parts
+                .get(1)
+                .ok_or_else(|| err("fat-tree needs k: fat-tree:<k>[:<rate>]"))?
+                .parse()
+                .map_err(|_| err(format!("bad k in `{spec}`")))?;
+            if k < 2 || k % 2 != 0 {
+                return Err(err("fat-tree k must be even and >= 2"));
+            }
+            let rate = match parts.get(2) {
+                Some(r) => parse_rate(r)?,
+                None => 1e9,
+            };
+            Ok(Topology::fat_tree(k, rate))
+        }
+        _ => Err(err(format!(
+            "unknown topology `{spec}` (expected star:…, leaf-spine:…, fat-tree:…)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_specs() {
+        assert_eq!(parse_topology("star:8").unwrap().host_count(), 8);
+        let t = parse_topology("star:4:10gbps").unwrap();
+        assert_eq!(t.host_count(), 4);
+        assert!(parse_topology("star").is_err());
+        assert!(parse_topology("star:0").is_err());
+        assert!(parse_topology("star:x").is_err());
+    }
+
+    #[test]
+    fn leaf_spine_specs() {
+        let t = parse_topology("leaf-spine:6x4x3").unwrap();
+        assert_eq!(t.host_count(), 24);
+        let t = parse_topology("leaf-spine:2x2x1:1gbps:4.0").unwrap();
+        assert_eq!(t.host_count(), 4);
+        assert!(parse_topology("leaf-spine:6x4").is_err());
+        assert!(parse_topology("leaf-spine:0x4x3").is_err());
+        assert!(parse_topology("leaf-spine:6x4x3:1gbps:-1").is_err());
+    }
+
+    #[test]
+    fn fat_tree_specs() {
+        assert_eq!(parse_topology("fat-tree:4").unwrap().host_count(), 16);
+        assert!(parse_topology("fat-tree:3").is_err());
+        assert!(parse_topology("fat-tree").is_err());
+    }
+
+    #[test]
+    fn rates() {
+        assert_eq!(parse_rate("1gbps").unwrap(), 1e9);
+        assert_eq!(parse_rate("100mbps").unwrap(), 1e8);
+        assert!(parse_rate("fast").is_err());
+        assert!(parse_rate("-1gbps").is_err());
+    }
+
+    #[test]
+    fn unknown_topology() {
+        assert!(parse_topology("torus:3").is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! `keddah` — the command-line face of the toolchain.
+//!
+//! ```text
+//! keddah capture  --workload terasort --input-gb 2 --repeats 5 --out traces/
+//! keddah fit      --out model.json traces/*.jsonl
+//! keddah inspect  model.json
+//! keddah generate --model model.json --jobs 2 --seed 7 --out jobs.json
+//! keddah replay   --model model.json --topology leaf-spine:6x4x3:1.0 --jobs 1
+//! keddah validate --model model.json traces/*.jsonl
+//! ```
+//!
+//! Run `keddah help` (or any subcommand with `--help`) for the full
+//! flag reference.
+
+use std::process::ExitCode;
+
+use keddah::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("keddah: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! End-to-end tests of the `keddah` command-line interface, driving the
+//! same `cli::run` entry point the binary uses, against a temp
+//! directory.
+
+use std::path::PathBuf;
+
+use keddah::cli;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("keddah-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(parts: &[&str]) -> Result<(), String> {
+    let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    cli::run(&argv).map_err(|e| e.to_string())
+}
+
+#[test]
+fn capture_fit_inspect_generate_replay_validate() {
+    let dir = tmp_dir("full");
+    let traces = dir.join("traces");
+    let packets = dir.join("packets");
+    let model = dir.join("model.json");
+    let jobs = dir.join("jobs.json");
+
+    run(&[
+        "capture",
+        "--workload",
+        "terasort",
+        "--input-gb",
+        "1",
+        "--racks",
+        "2",
+        "--nodes-per-rack",
+        "3",
+        "--reducers",
+        "4",
+        "--repeats",
+        "2",
+        "--seed",
+        "5",
+        "--out",
+        traces.to_str().unwrap(),
+        "--packets-out",
+        packets.to_str().unwrap(),
+    ])
+    .expect("capture succeeds");
+    let trace_files: Vec<PathBuf> = std::fs::read_dir(&traces)
+        .expect("traces dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert_eq!(trace_files.len(), 2);
+    let packet_files: Vec<PathBuf> = std::fs::read_dir(&packets)
+        .expect("packets dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert_eq!(packet_files.len(), 2);
+    // The packet files are parseable tcpdump text.
+    let text = std::fs::read_to_string(&packet_files[0]).expect("readable");
+    assert!(text.lines().next().expect("non-empty").contains("IP node"));
+
+    let mut fit_args = vec![
+        "fit".to_string(),
+        "--out".to_string(),
+        model.to_str().unwrap().to_string(),
+    ];
+    fit_args.extend(trace_files.iter().map(|p| p.to_str().unwrap().to_string()));
+    cli::run(&fit_args).expect("fit succeeds");
+    assert!(model.exists());
+
+    run(&["inspect", model.to_str().unwrap()]).expect("inspect succeeds");
+
+    run(&[
+        "generate",
+        "--model",
+        model.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--seed",
+        "3",
+        "--out",
+        jobs.to_str().unwrap(),
+    ])
+    .expect("generate succeeds");
+    let payload = std::fs::read_to_string(&jobs).expect("jobs written");
+    let parsed: Vec<keddah::core::GeneratedJob> =
+        serde_json::from_str(&payload).expect("jobs parse");
+    assert_eq!(parsed.len(), 2);
+
+    run(&[
+        "replay",
+        "--model",
+        model.to_str().unwrap(),
+        "--topology",
+        "leaf-spine:3x3x2:1gbps:2.0",
+        "--jobs",
+        "1",
+    ])
+    .expect("replay succeeds");
+
+    let mut validate_args = vec![
+        "validate".to_string(),
+        "--model".to_string(),
+        model.to_str().unwrap().to_string(),
+        "--jobs".to_string(),
+        "3".to_string(),
+    ];
+    validate_args.extend(trace_files.iter().map(|p| p.to_str().unwrap().to_string()));
+    cli::run(&validate_args).expect("validate succeeds");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_trace_mode() {
+    let dir = tmp_dir("replaytrace");
+    run(&[
+        "capture",
+        "--workload",
+        "grep",
+        "--input-gb",
+        "0.25",
+        "--racks",
+        "1",
+        "--nodes-per-rack",
+        "4",
+        "--reducers",
+        "2",
+        "--repeats",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ])
+    .expect("capture succeeds");
+    let trace = std::fs::read_dir(&dir)
+        .expect("dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .expect("trace exists");
+    run(&[
+        "replay",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--topology",
+        "star:8",
+    ])
+    .expect("trace replay succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_paths_are_reported() {
+    assert!(run(&["nope"]).unwrap_err().contains("unknown command"));
+    assert!(run(&["capture"]).unwrap_err().contains("--workload"));
+    assert!(run(&["capture", "--workload", "sortbench"])
+        .unwrap_err()
+        .contains("unknown workload"));
+    assert!(run(&["fit"]).unwrap_err().contains("no trace files"));
+    assert!(run(&["inspect", "/nonexistent/model.json"])
+        .unwrap_err()
+        .contains("cannot read"));
+    assert!(run(&["replay", "--topology", "star:4"])
+        .unwrap_err()
+        .contains("--model or --trace"));
+    assert!(run(&["replay", "--model", "x", "--trace", "y", "--topology", "star:4"])
+        .unwrap_err()
+        .contains("not both"));
+    assert!(run(&["generate", "--model", "/nonexistent.json"])
+        .unwrap_err()
+        .contains("cannot read"));
+    assert!(run(&["capture", "--workload", "grep", "--typo", "1"])
+        .unwrap_err()
+        .contains("unknown flag"));
+}
+
+#[test]
+fn help_everywhere() {
+    for cmd in ["capture", "fit", "inspect", "generate", "replay", "validate"] {
+        run(&[cmd, "--help"]).expect("help succeeds");
+    }
+    run(&["help"]).expect("top-level help");
+}
+
+#[test]
+fn family_fit_and_extrapolate() {
+    let dir = tmp_dir("family");
+    // Two anchor models at different sizes.
+    for (gb, seed) in [("0.5", "11"), ("1", "22")] {
+        run(&[
+            "capture",
+            "--workload",
+            "terasort",
+            "--input-gb",
+            gb,
+            "--racks",
+            "2",
+            "--nodes-per-rack",
+            "3",
+            "--reducers",
+            "4",
+            "--repeats",
+            "2",
+            "--seed",
+            seed,
+            "--out",
+            dir.join(format!("t{gb}")).to_str().unwrap(),
+        ])
+        .expect("capture anchors");
+        let traces: Vec<String> = std::fs::read_dir(dir.join(format!("t{gb}")))
+            .expect("dir")
+            .map(|e| e.expect("entry").path().to_str().unwrap().to_string())
+            .collect();
+        let mut fit_args = vec![
+            "fit".to_string(),
+            "--out".to_string(),
+            dir.join(format!("model{gb}.json")).to_str().unwrap().to_string(),
+        ];
+        fit_args.extend(traces);
+        keddah::cli::run(&fit_args).expect("fit anchor");
+    }
+    let family = dir.join("family.json");
+    run(&[
+        "family",
+        "--out",
+        family.to_str().unwrap(),
+        dir.join("model0.5.json").to_str().unwrap(),
+        dir.join("model1.json").to_str().unwrap(),
+    ])
+    .expect("family fit");
+    let extrapolated = dir.join("model4.json");
+    run(&[
+        "family",
+        "--from",
+        family.to_str().unwrap(),
+        "--input-gb",
+        "4",
+        "--out",
+        extrapolated.to_str().unwrap(),
+    ])
+    .expect("extrapolate");
+    let model = keddah::core::KeddahModel::from_json(
+        &std::fs::read_to_string(&extrapolated).expect("written"),
+    )
+    .expect("parses");
+    assert_eq!(model.input_bytes, 4 << 30);
+    // Errors: too few anchors, missing input-gb.
+    assert!(run(&["family", dir.join("model1.json").to_str().unwrap()])
+        .unwrap_err()
+        .contains("two anchor"));
+    assert!(run(&["family", "--from", family.to_str().unwrap()])
+        .unwrap_err()
+        .contains("--input-gb"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mix_generates_and_replays() {
+    let dir = tmp_dir("mix");
+    run(&[
+        "capture",
+        "--workload",
+        "grep",
+        "--input-gb",
+        "0.5",
+        "--racks",
+        "2",
+        "--nodes-per-rack",
+        "3",
+        "--reducers",
+        "2",
+        "--repeats",
+        "2",
+        "--seed",
+        "9",
+        "--out",
+        dir.to_str().unwrap(),
+    ])
+    .expect("capture");
+    let traces: Vec<String> = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| {
+            let p = e.expect("entry").path();
+            (p.extension()? == "jsonl").then(|| p.to_str().unwrap().to_string())
+        })
+        .collect();
+    let model = dir.join("model.json");
+    let mut fit_args = vec![
+        "fit".to_string(),
+        "--out".to_string(),
+        model.to_str().unwrap().to_string(),
+    ];
+    fit_args.extend(traces);
+    keddah::cli::run(&fit_args).expect("fit");
+
+    let jobs_out = dir.join("mixjobs.json");
+    run(&[
+        "mix",
+        "--horizon-secs",
+        "300",
+        "--rate-per-min",
+        "4",
+        "--seed",
+        "2",
+        "--out",
+        jobs_out.to_str().unwrap(),
+        "--topology",
+        "star:8",
+        &format!("{}:2.5", model.to_str().unwrap()),
+    ])
+    .expect("mix generates and replays");
+    let jobs: Vec<keddah::core::GeneratedJob> = serde_json::from_str(
+        &std::fs::read_to_string(&jobs_out).expect("jobs written"),
+    )
+    .expect("jobs parse");
+    assert!(!jobs.is_empty());
+
+    // Error paths.
+    assert!(run(&["mix"]).unwrap_err().contains("no model files"));
+    assert!(run(&["mix", "--horizon-secs", "0", model.to_str().unwrap()])
+        .unwrap_err()
+        .contains("positive"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

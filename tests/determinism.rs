@@ -1,0 +1,68 @@
+//! Reproducibility guarantees: every stage of the toolchain is a pure
+//! function of its inputs and seed. This is load-bearing for the paper's
+//! goal ("enabling reproducible Hadoop research").
+
+use keddah::core::pipeline::Keddah;
+use keddah::core::replay::replay_jobs;
+use keddah::hadoop::{run_job, ClusterSpec, HadoopConfig, JobSpec, Workload};
+use keddah::netsim::{SimOptions, Topology};
+
+#[test]
+fn capture_is_deterministic() {
+    let cluster = ClusterSpec::racks(2, 3);
+    let config = HadoopConfig::default();
+    let job = JobSpec::new(Workload::PageRank, 512 << 20);
+    let a = run_job(&cluster, &config, &job, 123);
+    let b = run_job(&cluster, &config, &job, 123);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn capture_varies_with_seed() {
+    let cluster = ClusterSpec::racks(2, 3);
+    let config = HadoopConfig::default();
+    let job = JobSpec::new(Workload::WordCount, 512 << 20);
+    let a = run_job(&cluster, &config, &job, 1);
+    let b = run_job(&cluster, &config, &job, 2);
+    assert_ne!(a.trace, b.trace);
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let cluster = ClusterSpec::racks(2, 3);
+    let config = HadoopConfig::default();
+    let job = JobSpec::new(Workload::TeraSort, 512 << 20);
+
+    let run = |seed: u64| {
+        let traces = Keddah::capture(&cluster, &config, &job, 2, seed);
+        let model = Keddah::fit(&traces).expect("fits");
+        let generated = model.generate_job(7);
+        let topo = Topology::star(8, 1e9);
+        let replay = replay_jobs(&[generated.clone()], &topo, SimOptions::default())
+            .expect("replays");
+        (model, generated, replay.sim.fcts())
+    };
+    let (m1, g1, f1) = run(5);
+    let (m2, g2, f2) = run(5);
+    assert_eq!(m1, m2, "models identical");
+    assert_eq!(g1, g2, "generated jobs identical");
+    assert_eq!(f1, f2, "replay FCTs identical");
+}
+
+#[test]
+fn trace_serialization_is_stable() {
+    let cluster = ClusterSpec::racks(1, 4);
+    let config = HadoopConfig::default().with_reducers(2);
+    let job = JobSpec::new(Workload::Grep, 256 << 20);
+    let trace = run_job(&cluster, &config, &job, 9).trace;
+
+    let mut buf1 = Vec::new();
+    trace.write_jsonl(&mut buf1).expect("writes");
+    let reread = keddah::flowcap::Trace::read_jsonl(&buf1[..]).expect("reads");
+    assert_eq!(trace, reread);
+    let mut buf2 = Vec::new();
+    reread.write_jsonl(&mut buf2).expect("writes again");
+    assert_eq!(buf1, buf2, "byte-identical re-serialization");
+}

@@ -1,0 +1,116 @@
+//! Stability tests for the on-disk artefact formats: Keddah model JSON,
+//! model-family JSON, trace JSONL, and tcpdump text. These formats are
+//! the toolchain's interchange contract ("for use with network
+//! simulators"), so a schema drift is a breaking change a test must
+//! catch.
+
+use keddah::core::pipeline::Keddah;
+use keddah::core::{KeddahModel, ModelFamily};
+use keddah::flowcap::{tcpdump, Component};
+use keddah::hadoop::{run_job_with_packets, ClusterSpec, HadoopConfig, JobSpec, Workload};
+
+fn capture() -> Vec<keddah::flowcap::Trace> {
+    Keddah::capture(
+        &ClusterSpec::racks(2, 3),
+        &HadoopConfig::default().with_reducers(4),
+        &JobSpec::new(Workload::TeraSort, 512 << 20),
+        2,
+        77,
+    )
+}
+
+#[test]
+fn model_json_schema_is_stable() {
+    let model = Keddah::fit(&capture()).expect("fits");
+    let json = model.to_json();
+    // Structural landmarks other tools key on. Renaming any of these is
+    // a format break.
+    for landmark in [
+        "\"version\": 1",
+        "\"workload\"",
+        "\"input_bytes\"",
+        "\"reducers\"",
+        "\"replication\"",
+        "\"makespan\"",
+        "\"components\"",
+        "\"shuffle\"",
+        "\"size_dist\"",
+        "\"family\"",
+        "\"start_dist\"",
+        "\"count\"",
+        "\"pattern\"",
+    ] {
+        assert!(json.contains(landmark), "model JSON lost {landmark}");
+    }
+    let back = KeddahModel::from_json(&json).expect("parses");
+    assert_eq!(model, back);
+}
+
+#[test]
+fn family_json_schema_is_stable() {
+    let cluster = ClusterSpec::racks(2, 3);
+    let config = HadoopConfig::default().with_reducers(4);
+    let anchors: Vec<KeddahModel> = [(512u64 << 20, 1u64), (1 << 30, 2)]
+        .iter()
+        .map(|&(bytes, seed)| {
+            let traces = Keddah::capture(
+                &cluster,
+                &config,
+                &JobSpec::new(Workload::TeraSort, bytes),
+                2,
+                seed,
+            );
+            Keddah::fit(&traces).expect("anchor fits")
+        })
+        .collect();
+    let family = ModelFamily::fit(&anchors).expect("family fits");
+    let json = family.to_json();
+    for landmark in ["\"anchors\"", "\"count_laws\"", "\"makespan_law\"", "\"exponent\""] {
+        assert!(json.contains(landmark), "family JSON lost {landmark}");
+    }
+    assert_eq!(ModelFamily::from_json(&json).expect("parses"), family);
+}
+
+#[test]
+fn trace_jsonl_lines_are_self_describing() {
+    let trace = &capture()[0];
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).expect("writes");
+    let text = String::from_utf8(buf).expect("utf8");
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.contains("\"workload\":\"terasort\""));
+    // Every flow line parses standalone as a FlowRecord.
+    let first_flow = lines.next().expect("at least one flow");
+    let record: keddah::flowcap::FlowRecord =
+        serde_json::from_str(first_flow).expect("flow line parses");
+    assert!(record.component.is_some(), "flows are classified on disk");
+}
+
+#[test]
+fn tcpdump_text_roundtrips_a_real_capture() {
+    let (run, packets) = run_job_with_packets(
+        &ClusterSpec::racks(1, 4),
+        &HadoopConfig::default().with_reducers(2),
+        &JobSpec::new(Workload::WordCount, 256 << 20),
+        3,
+    );
+    let mut buf = Vec::new();
+    tcpdump::write_text(&packets, &mut buf).expect("writes");
+    let reparsed = tcpdump::read_text(&buf[..]).expect("parses");
+    assert_eq!(packets.len(), reparsed.len());
+    // Timestamps survive at microsecond resolution; flows reassemble to
+    // within rounding of the original trace's aggregates.
+    let mut asm = keddah::flowcap::FlowAssembler::new();
+    asm.extend(reparsed);
+    let mut flows = asm.finish();
+    keddah::flowcap::classify::classify_all(&mut flows);
+    assert_eq!(flows.len(), run.trace.len());
+    let total: u64 = flows.iter().map(|f| f.total_bytes()).sum();
+    assert_eq!(total, run.trace.total_bytes());
+    let shuffle = flows
+        .iter()
+        .filter(|f| f.component == Some(Component::Shuffle))
+        .count();
+    assert_eq!(shuffle, run.trace.component_flows(Component::Shuffle).count());
+}

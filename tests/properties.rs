@@ -1,0 +1,266 @@
+//! Property-based tests over the toolchain's core invariants.
+
+use keddah::des::{Duration, SimTime};
+use keddah::flowcap::{FlowAssembler, NodeId, PacketRecord, Timeline};
+use keddah::netsim::fair::max_min_rates;
+use keddah::stat::distributions::{
+    Distribution, Empirical, Exponential, LogNormal, Pareto, Weibull,
+};
+use keddah::stat::fit::{fit_all, Candidate};
+use keddah::stat::Ecdf;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantile/CDF consistency holds for every valid parameterization
+    /// of the positive-support families.
+    #[test]
+    fn quantile_cdf_roundtrip(
+        family in 0..4usize,
+        p1 in 0.05f64..20.0,
+        p2 in 0.05f64..20.0,
+        q in 0.001f64..0.999,
+    ) {
+        let dist: Box<dyn Fn(f64) -> (f64, f64)> = match family {
+            0 => {
+                let d = Exponential::new(p1).unwrap();
+                Box::new(move |q| (d.quantile(q), d.cdf(d.quantile(q))))
+            }
+            1 => {
+                let d = LogNormal::new(p1.ln(), p2.max(0.05)).unwrap();
+                Box::new(move |q| (d.quantile(q), d.cdf(d.quantile(q))))
+            }
+            2 => {
+                let d = Weibull::new(p1.clamp(0.2, 10.0), p2).unwrap();
+                Box::new(move |q| (d.quantile(q), d.cdf(d.quantile(q))))
+            }
+            _ => {
+                let d = Pareto::new(p1, p2.max(0.2)).unwrap();
+                Box::new(move |q| (d.quantile(q), d.cdf(d.quantile(q))))
+            }
+        };
+        let (x, back) = dist(q);
+        prop_assert!(x.is_finite());
+        prop_assert!((back - q).abs() < 1e-6, "x={x} q={q} cdf={back}");
+    }
+
+    /// MLE fitting never panics on arbitrary positive samples, and the
+    /// sweep result (when it succeeds) reproduces a valid distribution.
+    #[test]
+    fn fit_never_panics(samples in prop::collection::vec(0.001f64..1e9, 1..200)) {
+        if let Ok(reports) = fit_all(&samples, Candidate::POSITIVE) {
+            for r in reports {
+                prop_assert!(r.ks_statistic >= 0.0 && r.ks_statistic <= 1.0);
+                let q = r.dist.quantile(0.5);
+                prop_assert!(q.is_finite() && q >= 0.0);
+            }
+        }
+    }
+
+    /// The empirical distribution reproduces any sample's quantiles to
+    /// within the table resolution.
+    #[test]
+    fn empirical_brackets_sample(samples in prop::collection::vec(-1e6f64..1e6, 2..500)) {
+        let d = Empirical::fit(&samples).unwrap();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(d.min(), lo);
+        prop_assert_eq!(d.max(), hi);
+        for &q in &[0.01, 0.5, 0.99] {
+            let v = d.quantile(q);
+            prop_assert!(v >= lo && v <= hi);
+        }
+        // CDF is monotone over the support.
+        let step = (hi - lo) / 37.0;
+        if step > 0.0 {
+            let mut prev = 0.0;
+            for i in 0..=37 {
+                let c = d.cdf(lo + step * i as f64);
+                prop_assert!(c >= prev - 1e-12);
+                prev = c;
+            }
+        }
+    }
+
+    /// ECDF quantiles are monotone and bracket the sample.
+    #[test]
+    fn ecdf_quantiles_monotone(samples in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let ecdf = Ecdf::new(samples.clone()).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = ecdf.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        prop_assert_eq!(ecdf.quantile(0.0), ecdf.min());
+        prop_assert_eq!(ecdf.quantile(1.0), ecdf.max());
+    }
+
+    /// Flow assembly conserves bytes and packets regardless of the
+    /// packet mix.
+    #[test]
+    fn assembler_conserves_bytes(
+        packets in prop::collection::vec(
+            (0u32..6, 0u32..6, 1u16..4, 0u64..10_000, 0u64..100, any::<bool>()),
+            1..200
+        )
+    ) {
+        // Build a time-ordered packet stream from the tuples.
+        let mut ts = 0u64;
+        let mut stream = Vec::new();
+        let mut total_bytes = 0u64;
+        for (src, dst, port, bytes, dt, fin) in packets {
+            ts += dt;
+            total_bytes += bytes;
+            let p = if fin {
+                PacketRecord::fin(
+                    SimTime::from_millis(ts), NodeId(src), 1000 + port, NodeId(dst), 2000, bytes,
+                )
+            } else {
+                PacketRecord::data(
+                    SimTime::from_millis(ts), NodeId(src), 1000 + port, NodeId(dst), 2000, bytes,
+                )
+            };
+            stream.push(p);
+        }
+        let n_packets = stream.len() as u64;
+        let mut asm = FlowAssembler::new();
+        asm.extend(stream);
+        let flows = asm.finish();
+        let flow_bytes: u64 = flows.iter().map(|f| f.total_bytes()).sum();
+        let flow_packets: u64 = flows.iter().map(|f| f.packets).sum();
+        prop_assert_eq!(flow_bytes, total_bytes);
+        prop_assert_eq!(flow_packets, n_packets);
+        // Flows are start-ordered.
+        for w in flows.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    /// Max-min fair allocation never violates a link capacity and never
+    /// starves a flow.
+    #[test]
+    fn max_min_is_feasible(
+        flows in prop::collection::vec(prop::collection::vec(0u32..8, 1..4), 1..40),
+        caps in prop::collection::vec(1.0f64..1e9, 8),
+    ) {
+        let rates = max_min_rates(&flows, &caps, 1e10);
+        let mut used = vec![0.0f64; caps.len()];
+        for (i, links) in flows.iter().enumerate() {
+            prop_assert!(rates[i] > 0.0, "flow {i} starved");
+            // Dedup links: a flow crossing the same link twice still
+            // charges it twice, which is conservative.
+            for &l in links {
+                used[l as usize] += rates[i];
+            }
+        }
+        for (l, &u) in used.iter().enumerate() {
+            // Flows listing the same link twice can overshoot the naive
+            // sum; allow a factor for that duplication.
+            prop_assert!(u <= caps[l] * 3.0 + 1e-6, "link {l}: {u} > {}", caps[l]);
+        }
+    }
+
+    /// Timeline binning conserves every byte it is given.
+    #[test]
+    fn timeline_conserves_bytes(
+        flows in prop::collection::vec((0u64..100, 0u64..50, 1u64..1_000_000), 1..50)
+    ) {
+        use keddah::flowcap::{FiveTuple, FlowRecord};
+        let records: Vec<FlowRecord> = flows
+            .iter()
+            .map(|&(start, len, bytes)| FlowRecord {
+                tuple: FiveTuple {
+                    src: NodeId(0),
+                    src_port: 1,
+                    dst: NodeId(1),
+                    dst_port: 13_562,
+                },
+                start: SimTime::from_secs(start),
+                end: SimTime::from_secs(start + len),
+                fwd_bytes: bytes,
+                rev_bytes: 0,
+                packets: 1,
+                component: None,
+            })
+            .collect();
+        let expected: u64 = flows.iter().map(|&(_, _, b)| b).sum();
+        let tl = Timeline::build(&records, Duration::from_secs(3));
+        prop_assert_eq!(tl.total_bytes(), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The Hadoop simulator finishes and conserves its own accounting on
+    /// arbitrary small configurations (slower: fewer cases).
+    #[test]
+    fn hadoop_sim_accounting(
+        racks in 1u32..3,
+        per_rack in 2u32..4,
+        reducers in 1u32..6,
+        gib_quarters in 1u64..6,
+        seed in 0u64..50,
+    ) {
+        use keddah::hadoop::{run_job, ClusterSpec, HadoopConfig, JobSpec, Workload};
+        let cluster = ClusterSpec::racks(racks, per_rack);
+        let config = HadoopConfig {
+            reducers,
+            replication: 1 + (seed % 2) as u16,
+            ..HadoopConfig::default()
+        };
+        let job = JobSpec::new(Workload::WordCount, gib_quarters * (256 << 20));
+        let run = run_job(&cluster, &config, &job, seed);
+        let c = run.counters;
+        prop_assert_eq!(c.local_maps + c.rack_local_maps + c.remote_maps, c.maps);
+        prop_assert_eq!(c.reducers, reducers);
+        let expected_maps = job.input_bytes.div_ceil(config.block_bytes) as u32;
+        prop_assert_eq!(c.maps, expected_maps);
+        // Capture-side shuffle bytes equal simulator-side accounting.
+        let captured: u64 = run
+            .trace
+            .component_flows(keddah::flowcap::Component::Shuffle)
+            .map(|f| f.rev_bytes)
+            .sum();
+        prop_assert_eq!(captured, c.shuffle_bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated jobs respect the model's structural invariants for any
+    /// seed: positive sizes, starts within the padded makespan window,
+    /// valid endpoints, sorted arrival order.
+    #[test]
+    fn generated_jobs_are_well_formed(seed in 0u64..1_000) {
+        use keddah::core::pipeline::Keddah;
+        use keddah::hadoop::{ClusterSpec, HadoopConfig, JobSpec, Workload};
+        // One shared capture (deterministic), many generation seeds.
+        let traces = Keddah::capture(
+            &ClusterSpec::racks(2, 3),
+            &HadoopConfig::default().with_reducers(3),
+            &JobSpec::new(Workload::TeraSort, 512 << 20),
+            2,
+            42,
+        );
+        let model = Keddah::fit(&traces).expect("model fits");
+        let job = model.generate_job(seed);
+        prop_assert_eq!(job.nodes, 6);
+        prop_assert!(job.makespan >= 1.0);
+        let mut prev = 0.0f64;
+        for f in &job.flows {
+            prop_assert!(f.bytes >= 1);
+            prop_assert!(f.start >= prev, "flows sorted by start");
+            prev = f.start;
+            prop_assert!(f.start <= job.makespan * 1.25 + 1e-9);
+            prop_assert!(f.src <= job.nodes && f.dst <= job.nodes);
+            prop_assert!(
+                f.src != f.dst,
+                "no self-flows: {} -> {}",
+                f.src,
+                f.dst
+            );
+        }
+    }
+}

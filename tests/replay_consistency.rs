@@ -1,0 +1,80 @@
+//! Cross-model consistency: conclusions drawn from a replay must not
+//! depend on which network model ran it. The fluid and TCP simulators
+//! may disagree on absolute FCTs, but they must rank fabrics the same
+//! way — otherwise the "what-if" studies would be artefacts of the
+//! substituted simulator.
+
+use keddah::core::pipeline::Keddah;
+use keddah::core::replay::jobs_to_flows;
+use keddah::hadoop::{ClusterSpec, HadoopConfig, JobSpec, Workload};
+use keddah::netsim::{simulate, simulate_tcp, FlowSpec, SimOptions, TcpOptions, Topology};
+
+fn generated_flows(topo: &Topology) -> Vec<FlowSpec> {
+    let traces = Keddah::capture(
+        &ClusterSpec::racks(2, 4),
+        &HadoopConfig::default().with_reducers(4),
+        &JobSpec::new(Workload::TeraSort, 1 << 30),
+        3,
+        21,
+    );
+    let model = Keddah::fit(&traces).expect("terasort fits");
+    let jobs = vec![model.generate_job(9)];
+    jobs_to_flows(&jobs, topo)
+        .expect("fits topology")
+        .into_iter()
+        .filter(|f| f.bytes > 10_000) // data plane only
+        .collect()
+}
+
+fn mean_fct_fluid(topo: &Topology, flows: &[FlowSpec]) -> f64 {
+    let fcts = simulate(topo, flows, SimOptions::default()).fcts();
+    fcts.iter().sum::<f64>() / fcts.len() as f64
+}
+
+fn mean_fct_tcp(topo: &Topology, flows: &[FlowSpec]) -> f64 {
+    let fcts = simulate_tcp(topo, flows, TcpOptions::default()).fcts();
+    fcts.iter().sum::<f64>() / fcts.len() as f64
+}
+
+#[test]
+fn fluid_and_tcp_rank_fabrics_identically() {
+    // Three fabrics with a strict expected ordering: non-blocking beats
+    // 2:1 beats 4:1 oversubscription.
+    let fabrics = [
+        Topology::leaf_spine(3, 3, 2, 1e9, 1.0),
+        Topology::leaf_spine(3, 3, 2, 1e9, 2.0),
+        Topology::leaf_spine(3, 3, 2, 1e9, 4.0),
+    ];
+    let flows = generated_flows(&fabrics[0]);
+    let fluid: Vec<f64> = fabrics.iter().map(|t| mean_fct_fluid(t, &flows)).collect();
+    let tcp: Vec<f64> = fabrics.iter().map(|t| mean_fct_tcp(t, &flows)).collect();
+    // Both models order the fabrics the same way.
+    assert!(fluid[0] <= fluid[1] && fluid[1] <= fluid[2], "fluid: {fluid:?}");
+    assert!(tcp[0] <= tcp[1] && tcp[1] <= tcp[2], "tcp: {tcp:?}");
+    // And they agree on the magnitude of the 4:1 penalty within 2x.
+    let fluid_penalty = fluid[2] / fluid[0];
+    let tcp_penalty = tcp[2] / tcp[0];
+    let ratio = fluid_penalty / tcp_penalty;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "penalty disagreement: fluid {fluid_penalty:.2}x vs tcp {tcp_penalty:.2}x"
+    );
+}
+
+#[test]
+fn models_agree_on_aggregate_throughput() {
+    // Total bytes / makespan should be simulator-independent when the
+    // network is the bottleneck.
+    let topo = Topology::star(10, 1e9);
+    let flows = generated_flows(&topo);
+    let bytes: f64 = flows.iter().map(|f| f.bytes as f64).sum();
+    let fluid = simulate(&topo, &flows, SimOptions::default());
+    let tcp = simulate_tcp(&topo, &flows, TcpOptions::default());
+    let tput_fluid = bytes / fluid.makespan().as_secs_f64();
+    let tput_tcp = bytes / tcp.makespan().as_secs_f64();
+    let ratio = tput_fluid / tput_tcp;
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "throughput disagreement: {tput_fluid:.2e} vs {tput_tcp:.2e}"
+    );
+}
