@@ -81,8 +81,7 @@ fn bench_timeout_ablation(c: &mut Criterion) {
             &packets,
             |b, packets| {
                 b.iter(|| {
-                    let mut asm =
-                        FlowAssembler::with_idle_timeout(Duration::from_secs(timeout_s));
+                    let mut asm = FlowAssembler::with_idle_timeout(Duration::from_secs(timeout_s));
                     asm.extend(black_box(packets.iter().copied()));
                     asm.finish().len()
                 })

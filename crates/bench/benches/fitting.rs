@@ -68,7 +68,13 @@ fn bench_selection_ablation(c: &mut Criterion) {
         b.iter(|| fit_select(black_box(&xs), Candidate::POSITIVE, Selection::Aic))
     });
     c.bench_function("selection/anderson_darling", |b| {
-        b.iter(|| fit_select(black_box(&xs), Candidate::POSITIVE, Selection::AndersonDarling))
+        b.iter(|| {
+            fit_select(
+                black_box(&xs),
+                Candidate::POSITIVE,
+                Selection::AndersonDarling,
+            )
+        })
     });
 }
 

@@ -16,9 +16,7 @@ fn bench_cluster_size(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(racks * per_rack),
             &cluster,
-            |b, cluster| {
-                b.iter(|| run_job(black_box(cluster), &config, &job, 1).trace.len())
-            },
+            |b, cluster| b.iter(|| run_job(black_box(cluster), &config, &job, 1).trace.len()),
         );
     }
     group.finish();

@@ -28,9 +28,7 @@ fn bench_max_min(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &flow_links,
-            |b, flow_links| {
-                b.iter(|| max_min_rates(black_box(flow_links), &caps, 10e9))
-            },
+            |b, flow_links| b.iter(|| max_min_rates(black_box(flow_links), &caps, 10e9)),
         );
     }
     group.finish();

@@ -54,10 +54,8 @@ fn main() {
         let predicted = family.model_at(gib(target));
         let actual = train(target, 400 + target);
         for &component in Component::ALL {
-            let (Some(p), Some(a)) = (
-                predicted.component(component),
-                actual.component(component),
-            ) else {
+            let (Some(p), Some(a)) = (predicted.component(component), actual.component(component))
+            else {
                 continue;
             };
             println!(
@@ -75,8 +73,7 @@ fn main() {
             "makespan",
             predicted.makespan.mean,
             actual.makespan.mean,
-            100.0 * (predicted.makespan.mean - actual.makespan.mean).abs()
-                / actual.makespan.mean
+            100.0 * (predicted.makespan.mean - actual.makespan.mean).abs() / actual.makespan.mean
         );
     }
     println!(

@@ -5,10 +5,13 @@
 //! read volume and job duration climb with the failure rate while
 //! shuffle volume stays put (reducers only ever fetch from the
 //! successful attempt).
+//!
+//! The sweep runs as one matrix through the experiment runner.
 
-use keddah_bench::{default_config, gib, heading, mean, testbed};
+use keddah_bench::{default_config, gib, heading, jobs_from_env, runner};
+use keddah_core::runner::MatrixCell;
 use keddah_flowcap::Component;
-use keddah_hadoop::{run_job, HadoopConfig, JobSpec, Workload};
+use keddah_hadoop::{HadoopConfig, Workload};
 
 fn main() {
     heading("Figure 11 [extension]: failure-recovery traffic (TeraSort, 4 GiB)");
@@ -20,51 +23,24 @@ fn main() {
         "{:>8} {:>10} {:>12} {:>12} {:>12}",
         "p(fail)", "retries", "read MB", "shuffle MB", "makespan"
     );
-    let cluster = testbed();
-    let job = JobSpec::new(Workload::TeraSort, gib(4));
-    for &p in &[0.0f64, 0.05, 0.1, 0.2, 0.4] {
-        let config = HadoopConfig {
-            task_failure_prob: p,
-            ..default_config()
-        }
-        .with_replication(1);
-        let runs: Vec<_> = (0..3)
-            .map(|i| run_job(&cluster, &config, &job, 900 + i))
-            .collect();
-        let retries = mean(
-            &runs
-                .iter()
-                .map(|r| f64::from(r.counters.failed_map_attempts))
-                .collect::<Vec<_>>(),
-        );
-        let read = mean(
-            &runs
-                .iter()
-                .map(|r| {
-                    r.trace
-                        .component_flows(Component::HdfsRead)
-                        .map(|f| f.total_bytes() as f64)
-                        .sum::<f64>()
-                })
-                .collect::<Vec<_>>(),
-        );
-        let shuffle = mean(
-            &runs
-                .iter()
-                .map(|r| {
-                    r.trace
-                        .component_flows(Component::Shuffle)
-                        .map(|f| f.total_bytes() as f64)
-                        .sum::<f64>()
-                })
-                .collect::<Vec<_>>(),
-        );
-        let makespan = mean(
-            &runs
-                .iter()
-                .map(|r| r.duration.as_secs_f64())
-                .collect::<Vec<_>>(),
-        );
+    let probabilities = [0.0f64, 0.05, 0.1, 0.2, 0.4];
+    let cells: Vec<MatrixCell> = probabilities
+        .iter()
+        .map(|&p| {
+            let config = HadoopConfig {
+                task_failure_prob: p,
+                ..default_config()
+            }
+            .with_replication(1);
+            MatrixCell::new(Workload::TeraSort, gib(4), config, 3)
+        })
+        .collect();
+    let results = runner().run_matrix(&cells, jobs_from_env());
+    for (&p, result) in probabilities.iter().zip(&results) {
+        let retries = result.mean_over_runs(|r| f64::from(r.failed_map_attempts));
+        let read = result.mean_component_bytes(Component::HdfsRead);
+        let shuffle = result.mean_component_bytes(Component::Shuffle);
+        let makespan = result.mean_duration_secs();
         println!(
             "{p:>8.2} {retries:>10.1} {:>12.1} {:>12.1} {:>11.1}s",
             read.max(0.0) / 1e6,

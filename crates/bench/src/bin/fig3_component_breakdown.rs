@@ -4,42 +4,40 @@
 //! wire divide among HDFS read, HDFS write, shuffle and control. This is
 //! where the job types separate: TeraSort is shuffle-dominated, Grep is
 //! read-dominated (its shuffle is negligible), WordCount sits between.
+//!
+//! Cells run through the experiment runner (`--jobs`-style parallelism
+//! via `KEDDAH_JOBS`); `KEDDAH_SMOKE` shrinks the matrix to one small
+//! cell per workload for CI.
 
-use keddah_bench::{default_config, fmt_bytes, gib, heading, mean, testbed};
+use keddah_bench::{default_config, fmt_bytes, gib, heading, jobs_from_env, runner, smoke};
+use keddah_core::runner::MatrixCell;
 use keddah_flowcap::Component;
-use keddah_hadoop::{run_repeats, JobSpec, Workload};
+use keddah_hadoop::Workload;
 
 fn main() {
-    heading("Figure 3: per-component traffic breakdown (8 GiB, 3 runs each)");
+    let (input_bytes, repeats) = if smoke() { (256 << 20, 1) } else { (gib(8), 3) };
+    heading(&format!(
+        "Figure 3: per-component traffic breakdown ({}, {repeats} run(s) each)",
+        fmt_bytes(input_bytes as f64)
+    ));
     println!(
         "{:<10} {:>12} | {:>8} {:>8} {:>8} {:>8}",
         "workload", "total", "read%", "shuffle%", "write%", "ctrl%"
     );
-    let cluster = testbed();
-    let config = default_config();
-    for &workload in Workload::ALL {
-        let runs = run_repeats(&cluster, &config, &JobSpec::new(workload, gib(8)), 10, 3);
-        let per_component = |c: Component| -> f64 {
-            mean(
-                &runs
-                    .iter()
-                    .map(|r| {
-                        r.trace
-                            .component_flows(c)
-                            .map(|f| f.total_bytes() as f64)
-                            .sum::<f64>()
-                    })
-                    .collect::<Vec<f64>>(),
-            )
-        };
-        let read = per_component(Component::HdfsRead);
-        let shuffle = per_component(Component::Shuffle);
-        let write = per_component(Component::HdfsWrite);
-        let ctrl = per_component(Component::Control);
+    let cells: Vec<MatrixCell> = Workload::ALL
+        .iter()
+        .map(|&w| MatrixCell::new(w, input_bytes, default_config(), repeats))
+        .collect();
+    let results = runner().run_matrix(&cells, jobs_from_env());
+    for result in &results {
+        let read = result.mean_component_bytes(Component::HdfsRead);
+        let shuffle = result.mean_component_bytes(Component::Shuffle);
+        let write = result.mean_component_bytes(Component::HdfsWrite);
+        let ctrl = result.mean_component_bytes(Component::Control);
         let total = read + shuffle + write + ctrl;
         println!(
             "{:<10} {:>12} | {:>7.1}% {:>7.1}% {:>7.1}% {:>8.2}%",
-            workload.name(),
+            result.workload,
             fmt_bytes(total),
             100.0 * read / total,
             100.0 * shuffle / total,

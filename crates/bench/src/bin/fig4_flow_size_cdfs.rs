@@ -22,13 +22,7 @@ fn main() {
     let cluster = testbed();
     let config = default_config();
     for workload in [Workload::TeraSort, Workload::WordCount] {
-        let traces = Keddah::capture(
-            &cluster,
-            &config,
-            &JobSpec::new(workload, gib(8)),
-            30,
-            200,
-        );
+        let traces = Keddah::capture(&cluster, &config, &JobSpec::new(workload, gib(8)), 30, 200);
         let dataset = Dataset::from_traces(&traces);
         let model = fit_model(&dataset).expect("workload models");
         println!("\n--- {} ---", workload.name());
@@ -49,10 +43,7 @@ fn main() {
                 cm.size_fit.ks_statistic,
                 cm.size_fit.ks_p_value
             );
-            println!(
-                "  {:>6} {:>14} {:>14}",
-                "q", "empirical", "fitted"
-            );
+            println!("  {:>6} {:>14} {:>14}", "q", "empirical", "fitted");
             for &q in QUANTILES {
                 println!(
                     "  {:>6.2} {:>14.0} {:>14.0}",

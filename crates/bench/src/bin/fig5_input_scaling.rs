@@ -5,21 +5,31 @@
 //! observation: data-plane traffic scales near-linearly with input
 //! (b ≈ 1) with workload-specific constants, while control traffic grows
 //! much more slowly (with job duration, not volume).
+//!
+//! The full 15-cell sweep (3 workloads x 5 sizes) runs through the
+//! experiment runner, so the points fill in parallel across cores.
 
-use keddah_bench::{default_config, gib, heading, mean, testbed};
+use keddah_bench::{default_config, gib, heading, jobs_from_env, runner};
+use keddah_core::runner::MatrixCell;
 use keddah_flowcap::Component;
-use keddah_hadoop::{run_repeats, JobSpec, Workload};
+use keddah_hadoop::Workload;
 use keddah_stat::regression::PowerLaw;
 
 fn main() {
-    heading("Figure 5: traffic vs input size (1-16 GiB, 2 runs per point)");
-    let cluster = testbed();
-    let config = default_config();
+    heading("Figure 5: traffic vs input size (1-16 GiB, 3 runs per point)");
     let sizes = [1u64, 2, 4, 8, 16];
-    for (wi, workload) in [Workload::TeraSort, Workload::WordCount, Workload::Grep]
-        .into_iter()
-        .enumerate()
-    {
+    let workloads = [Workload::TeraSort, Workload::WordCount, Workload::Grep];
+    let cells: Vec<MatrixCell> = workloads
+        .iter()
+        .flat_map(|&w| {
+            sizes
+                .iter()
+                .map(move |&s| MatrixCell::new(w, gib(s), default_config(), 3))
+        })
+        .collect();
+    let results = runner().run_matrix(&cells, jobs_from_env());
+
+    for (wi, workload) in workloads.into_iter().enumerate() {
         println!("\n--- {} ---", workload.name());
         println!(
             "{:>6} {:>12} {:>12} {:>12} {:>12}",
@@ -27,14 +37,8 @@ fn main() {
         );
         let mut series: std::collections::BTreeMap<Component, Vec<f64>> =
             std::collections::BTreeMap::new();
-        for &s in &sizes {
-            let runs = run_repeats(
-                &cluster,
-                &config,
-                &JobSpec::new(workload, gib(s)),
-                40 + 1000 * wi as u64,
-                3,
-            );
+        for (si, &s) in sizes.iter().enumerate() {
+            let result = &results[wi * sizes.len() + si];
             print!("{s:>6}");
             for &c in &[
                 Component::HdfsRead,
@@ -42,17 +46,7 @@ fn main() {
                 Component::HdfsWrite,
                 Component::Control,
             ] {
-                let bytes = mean(
-                    &runs
-                        .iter()
-                        .map(|r| {
-                            r.trace
-                                .component_flows(c)
-                                .map(|f| f.total_bytes() as f64)
-                                .sum::<f64>()
-                        })
-                        .collect::<Vec<f64>>(),
-                );
+                let bytes = result.mean_component_bytes(c);
                 series.entry(c).or_default().push(bytes.max(1.0));
                 print!(" {:>11.1}", bytes.max(0.0) / 1e6);
             }

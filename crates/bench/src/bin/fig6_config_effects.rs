@@ -4,46 +4,51 @@
 //! replication-factor sweep. Reducer count reshapes the shuffle — many
 //! more, smaller flows at the same total volume; replication multiplies
 //! HDFS write traffic while leaving the shuffle untouched.
+//!
+//! All three sweeps are assembled into one matrix and run through the
+//! experiment runner, so the sweep points execute in parallel.
 
-use keddah_bench::{default_config, gib, heading, mean, testbed};
+use keddah_bench::{default_config, gib, heading, jobs_from_env, runner};
+use keddah_core::runner::{CellResult, MatrixCell};
 use keddah_flowcap::Component;
-use keddah_hadoop::{run_repeats, JobSpec, Workload};
+use keddah_hadoop::Workload;
 
-fn component_stats(
-    runs: &[keddah_hadoop::JobRun],
-    c: Component,
-) -> (f64, f64, f64) {
-    let counts: Vec<f64> = runs
-        .iter()
-        .map(|r| r.trace.component_flows(c).count() as f64)
-        .collect();
-    let bytes: Vec<f64> = runs
-        .iter()
-        .map(|r| {
-            r.trace
-                .component_flows(c)
-                .map(|f| f.total_bytes() as f64)
-                .sum::<f64>()
-        })
-        .collect();
-    let count = mean(&counts);
-    let volume = mean(&bytes);
+fn component_stats(result: &CellResult, c: Component) -> (f64, f64, f64) {
+    let count = result.mean_component_flows(c);
+    let volume = result.mean_component_bytes(c);
     (count, volume, volume / count.max(1.0))
 }
 
 fn main() {
-    let cluster = testbed();
-    let job = JobSpec::new(Workload::TeraSort, gib(8));
+    let input = gib(8);
+    let reducer_sweep = [2u32, 4, 8, 16, 32];
+    let replication_sweep = [1u16, 2, 3];
+    let block_sweep = [64u64, 128, 256];
+
+    let mut cells = Vec::new();
+    for &reducers in &reducer_sweep {
+        let config = default_config().with_reducers(reducers);
+        cells.push(MatrixCell::new(Workload::TeraSort, input, config, 2));
+    }
+    for &replication in &replication_sweep {
+        let config = default_config().with_replication(replication);
+        cells.push(MatrixCell::new(Workload::TeraSort, input, config, 2));
+    }
+    for &block_mib in &block_sweep {
+        let config = default_config().with_block_bytes(block_mib << 20);
+        cells.push(MatrixCell::new(Workload::TeraSort, input, config, 2));
+    }
+    let results = runner().run_matrix(&cells, jobs_from_env());
+    let (sweep_a, rest) = results.split_at(reducer_sweep.len());
+    let (sweep_b, sweep_c) = rest.split_at(replication_sweep.len());
 
     heading("Figure 6a: reducer count vs shuffle structure (TeraSort, 8 GiB)");
     println!(
         "{:>9} {:>12} {:>14} {:>16}",
         "reducers", "flows", "total MB", "mean flow KB"
     );
-    for reducers in [2u32, 4, 8, 16, 32] {
-        let config = default_config().with_reducers(reducers);
-        let runs = run_repeats(&cluster, &config, &job, 60, 2);
-        let (count, volume, per_flow) = component_stats(&runs, Component::Shuffle);
+    for (&reducers, result) in reducer_sweep.iter().zip(sweep_a) {
+        let (count, volume, per_flow) = component_stats(result, Component::Shuffle);
         println!(
             "{reducers:>9} {count:>12.0} {:>14.1} {:>16.1}",
             volume / 1e6,
@@ -57,12 +62,10 @@ fn main() {
         "{:>12} {:>14} {:>14} {:>14}",
         "replication", "write MB", "shuffle MB", "read MB"
     );
-    for replication in [1u16, 2, 3] {
-        let config = default_config().with_replication(replication);
-        let runs = run_repeats(&cluster, &config, &job, 80, 2);
-        let (_, write, _) = component_stats(&runs, Component::HdfsWrite);
-        let (_, shuffle, _) = component_stats(&runs, Component::Shuffle);
-        let (_, read, _) = component_stats(&runs, Component::HdfsRead);
+    for (&replication, result) in replication_sweep.iter().zip(sweep_b) {
+        let (_, write, _) = component_stats(result, Component::HdfsWrite);
+        let (_, shuffle, _) = component_stats(result, Component::Shuffle);
+        let (_, read, _) = component_stats(result, Component::HdfsRead);
         println!(
             "{replication:>12} {:>14.1} {:>14.1} {:>14.1}",
             write / 1e6,
@@ -82,17 +85,10 @@ fn main() {
         "{:>10} {:>8} {:>12} {:>16} {:>12}",
         "block MiB", "maps", "read flows", "mean read MB", "makespan"
     );
-    for block_mib in [64u64, 128, 256] {
-        let config = default_config().with_block_bytes(block_mib << 20);
-        let runs = run_repeats(&cluster, &config, &job, 120, 2);
-        let (count, _, per_flow) = component_stats(&runs, Component::HdfsRead);
-        let maps = runs[0].counters.maps;
-        let makespan = mean(
-            &runs
-                .iter()
-                .map(|r| r.duration.as_secs_f64())
-                .collect::<Vec<_>>(),
-        );
+    for (&block_mib, result) in block_sweep.iter().zip(sweep_c) {
+        let (count, _, per_flow) = component_stats(result, Component::HdfsRead);
+        let maps = result.runs[0].maps;
+        let makespan = result.mean_duration_secs();
         println!(
             "{block_mib:>10} {maps:>8} {count:>12.1} {:>16.1} {:>11.1}s",
             per_flow / 1e6,

@@ -57,7 +57,10 @@ fn main() {
             b.len(),
             ks.statistic
         );
-        println!("  {:>6} {:>14} {:>14}", "q", "trace FCT (s)", "model FCT (s)");
+        println!(
+            "  {:>6} {:>14} {:>14}",
+            "q", "trace FCT (s)", "model FCT (s)"
+        );
         let ra = cdf_rows(a, QUANTILES);
         let rb = cdf_rows(b, QUANTILES);
         for (i, &q) in QUANTILES.iter().enumerate() {

@@ -3,10 +3,12 @@
 //! Lists every job type with its data-flow profile and the sweep
 //! dimensions of the capture campaign, plus one measured capture per
 //! workload at the reference point (2 GiB, 8 reducers, replication 3) to
-//! ground the matrix in observed traffic.
+//! ground the matrix in observed traffic. The per-workload captures run
+//! through the experiment runner.
 
-use keddah_bench::{default_config, fmt_bytes, gib, heading, testbed};
-use keddah_hadoop::{run_job, JobSpec, Workload};
+use keddah_bench::{default_config, fmt_bytes, gib, heading, jobs_from_env, runner};
+use keddah_core::runner::MatrixCell;
+use keddah_hadoop::Workload;
 
 fn main() {
     heading("Table 1: workload matrix");
@@ -19,23 +21,26 @@ fn main() {
         "workload", "map sel", "red sel", "iters", "maps", "flows", "wire bytes", "makespan"
     );
 
-    let cluster = testbed();
     let config = default_config();
-    for &workload in Workload::ALL {
-        let profile = workload.profile();
-        let job = JobSpec::new(workload, gib(2));
-        let run = run_job(&cluster, &config, &job, 1);
+    let cells: Vec<MatrixCell> = Workload::ALL
+        .iter()
+        .map(|&w| MatrixCell::new(w, gib(2), config.clone(), 1))
+        .collect();
+    let results = runner().run_matrix(&cells, jobs_from_env());
+    for (cell, result) in cells.iter().zip(&results) {
+        let profile = cell.workload.profile();
+        let run = &result.runs[0];
         let maps_per_round = gib(2).div_ceil(config.block_bytes);
         println!(
             "{:<10} {:>8.2} {:>8.2} {:>6} {:>6} | {:>8} {:>12} {:>9.1}s",
-            workload.name(),
+            result.workload,
             profile.map_selectivity,
             profile.reduce_selectivity,
             profile.iterations,
             maps_per_round,
-            run.trace.len(),
-            fmt_bytes(run.trace.total_bytes() as f64),
-            run.duration.as_secs_f64()
+            run.flows,
+            fmt_bytes(run.bytes as f64),
+            run.duration_secs
         );
     }
     println!(

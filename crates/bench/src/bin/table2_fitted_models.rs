@@ -19,8 +19,7 @@ fn main() {
     let config = default_config();
     for (wi, &workload) in Workload::ALL.iter().enumerate() {
         let seed = 300 + 10_000 * wi as u64;
-        let traces =
-            Keddah::capture(&cluster, &config, &JobSpec::new(workload, gib(8)), 10, seed);
+        let traces = Keddah::capture(&cluster, &config, &JobSpec::new(workload, gib(8)), 10, seed);
         let model = Keddah::fit(&traces).expect("workload models");
         for &component in Component::ALL {
             let Some(cm) = model.component(component) else {

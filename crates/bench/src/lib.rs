@@ -6,6 +6,7 @@
 //! small formatting helpers, and percentile/series utilities, so every
 //! experiment prints comparable output.
 
+use keddah_core::runner::Runner;
 use keddah_hadoop::{ClusterSpec, HadoopConfig};
 
 /// The canonical capture testbed used across experiments: 4 racks x 5
@@ -14,6 +15,34 @@ use keddah_hadoop::{ClusterSpec, HadoopConfig};
 #[must_use]
 pub fn testbed() -> ClusterSpec {
     ClusterSpec::racks(4, 5)
+}
+
+/// An experiment [`Runner`] on the canonical testbed.
+#[must_use]
+pub fn runner() -> Runner {
+    Runner::new(testbed())
+}
+
+/// Worker threads for experiment matrices: `KEDDAH_JOBS` if set,
+/// otherwise one per available core. Results never depend on this — the
+/// runner's derived seeds make output identical at any width.
+#[must_use]
+pub fn jobs_from_env() -> usize {
+    std::env::var("KEDDAH_JOBS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// True when `KEDDAH_SMOKE` is set (to anything but `0`): experiments
+/// shrink to their minimum input size and repeat count so CI can execute
+/// one real matrix cell per figure without the full campaign's runtime.
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::var("KEDDAH_SMOKE").is_ok_and(|v| v != "0")
 }
 
 /// The default Hadoop configuration every experiment starts from; sweeps
@@ -112,7 +141,13 @@ mod tests {
     #[test]
     fn testbed_is_twenty_workers() {
         assert_eq!(testbed().worker_count(), 20);
+        assert_eq!(runner().cluster().worker_count(), 20);
         default_config().validate().unwrap();
+    }
+
+    #[test]
+    fn jobs_from_env_is_positive() {
+        assert!(jobs_from_env() >= 1);
     }
 
     #[test]

@@ -86,7 +86,13 @@ impl ModelFamily {
             }
             let counts: Vec<f64> = anchors
                 .iter()
-                .map(|m| m.component(component).expect("checked above").count.mean.max(0.5))
+                .map(|m| {
+                    m.component(component)
+                        .expect("checked above")
+                        .count
+                        .mean
+                        .max(0.5)
+                })
                 .collect();
             if let Ok(law) = PowerLaw::fit(&gib, &counts) {
                 count_laws.insert(component, law);
@@ -206,7 +212,11 @@ mod tests {
             "exponent = {}",
             shuffle_law.exponent
         );
-        assert!(shuffle_law.r_squared > 0.9, "R2 = {}", shuffle_law.r_squared);
+        assert!(
+            shuffle_law.r_squared > 0.9,
+            "R2 = {}",
+            shuffle_law.r_squared
+        );
     }
 
     #[test]
@@ -216,10 +226,17 @@ mod tests {
         // Predict at 8 GiB and compare against a real capture there.
         let predicted = family.model_at(8 << 30);
         let actual = anchor(8, 40);
-        let p = predicted.component(Component::Shuffle).expect("has shuffle");
+        let p = predicted
+            .component(Component::Shuffle)
+            .expect("has shuffle");
         let a = actual.component(Component::Shuffle).expect("has shuffle");
         let count_err = (p.count.mean - a.count.mean).abs() / a.count.mean;
-        assert!(count_err < 0.35, "count error {count_err}: {} vs {}", p.count.mean, a.count.mean);
+        assert!(
+            count_err < 0.35,
+            "count error {count_err}: {} vs {}",
+            p.count.mean,
+            a.count.mean
+        );
         // Predicted makespan within 2x of the observed one.
         let mk_ratio = predicted.makespan.mean / actual.makespan.mean;
         assert!((0.5..2.0).contains(&mk_ratio), "makespan ratio {mk_ratio}");
@@ -233,14 +250,20 @@ mod tests {
         let small = family.model_at(1 << 30).generate_job(1);
         let big = family.model_at(8 << 30).generate_job(1);
         let ratio = big.total_bytes() as f64 / small.total_bytes() as f64;
-        assert!(ratio > 3.0, "8x input should yield much more traffic: {ratio}");
+        assert!(
+            ratio > 3.0,
+            "8x input should yield much more traffic: {ratio}"
+        );
     }
 
     #[test]
     fn family_rejects_bad_anchor_sets() {
         let a = anchor(1, 10);
-        assert!(ModelFamily::fit(&[a.clone()]).is_err());
-        assert!(ModelFamily::fit(&[a.clone(), a.clone()]).is_err(), "duplicate sizes");
+        assert!(ModelFamily::fit(std::slice::from_ref(&a)).is_err());
+        assert!(
+            ModelFamily::fit(&[a.clone(), a.clone()]).is_err(),
+            "duplicate sizes"
+        );
         let mut b = anchor(2, 20);
         b.reducers += 1;
         assert!(ModelFamily::fit(&[a, b]).is_err(), "mixed configurations");

@@ -87,10 +87,7 @@ impl KeddahModel {
                 // Arrival times are clamped into the job window; the
                 // fitted family occasionally produces negative or far-tail
                 // values.
-                let start = cm
-                    .start_dist
-                    .sample(&mut rng)
-                    .clamp(0.0, makespan * 1.25);
+                let start = cm.start_dist.sample(&mut rng).clamp(0.0, makespan * 1.25);
                 let (src, dst) = endpoints(cm.pattern, workers, &reducer_nodes, &mut rng);
                 flows.push(GenFlow {
                     src,

@@ -51,6 +51,7 @@ pub mod mix;
 pub mod model;
 pub mod pipeline;
 pub mod replay;
+pub mod runner;
 pub mod validate;
 
 pub use dataset::Dataset;
@@ -59,6 +60,7 @@ pub use generate::{GenFlow, GeneratedJob};
 pub use mix::{JobMix, MixEntry};
 pub use model::KeddahModel;
 pub use pipeline::Keddah;
+pub use runner::{CellResult, MatrixCell, RunSummary, Runner};
 pub use validate::ValidationReport;
 
 use std::fmt;

@@ -110,7 +110,7 @@ impl JobMix {
                     pick <= 0.0
                 })
                 .unwrap_or_else(|| self.entries.last().expect("mix is non-empty"));
-            job_seed = job_seed.wrapping_add(0x1000_0000_1b3);
+            job_seed = job_seed.wrapping_add(0x0100_0000_01b3);
             let mut job = entry.model.generate_job(job_seed);
             for f in &mut job.flows {
                 f.start += t;
@@ -165,8 +165,7 @@ mod tests {
             jobs.len()
         );
         // Flows are offset to arrival times: later jobs start later.
-        let first_flow_start =
-            |j: &GeneratedJob| j.flows.first().map(|f| f.start).unwrap_or(0.0);
+        let first_flow_start = |j: &GeneratedJob| j.flows.first().map(|f| f.start).unwrap_or(0.0);
         assert!(first_flow_start(&jobs[0]) < first_flow_start(jobs.last().unwrap()));
     }
 

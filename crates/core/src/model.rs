@@ -36,7 +36,11 @@ impl ScalarModel {
         assert!(!samples.is_empty(), "scalar model needs samples");
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         ScalarModel {
             mean,
             std: var.sqrt(),

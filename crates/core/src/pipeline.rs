@@ -6,7 +6,9 @@
 //! [`crate::validate`]) when an experiment needs to customize one step.
 
 use keddah_flowcap::Trace;
-use keddah_hadoop::{run_repeats, ClusterSpec, HadoopConfig, JobSpec, Workload};
+use keddah_hadoop::{
+    run_repeats, run_repeats_seeded, ClusterSpec, HadoopConfig, JobSpec, Workload,
+};
 
 use crate::dataset::Dataset;
 use crate::fitting::fit_model;
@@ -48,6 +50,24 @@ impl Keddah {
         seed_base: u64,
     ) -> Vec<Trace> {
         run_repeats(cluster, config, job, seed_base, repeats)
+            .into_iter()
+            .map(|run| run.trace)
+            .collect()
+    }
+
+    /// Stage 1 variant taking an explicit seed stream: one capture per
+    /// seed, in order. This is how the experiment [`crate::runner`]
+    /// drives captures — its per-cell splitmix64 derivation hands each
+    /// cell a seed stream that is independent of matrix shape and worker
+    /// scheduling.
+    #[must_use]
+    pub fn capture_seeded(
+        cluster: &ClusterSpec,
+        config: &HadoopConfig,
+        job: &JobSpec,
+        seeds: &[u64],
+    ) -> Vec<Trace> {
+        run_repeats_seeded(cluster, config, job, seeds)
             .into_iter()
             .map(|run| run.trace)
             .collect()
@@ -135,7 +155,11 @@ mod tests {
         let shuffle = report.component(Component::Shuffle).unwrap();
         // Model trained on these traces: shapes should be close.
         assert!(shuffle.ks_statistic < 0.35, "KS = {}", shuffle.ks_statistic);
-        assert!(shuffle.count_error < 0.3, "count err = {}", shuffle.count_error);
+        assert!(
+            shuffle.count_error < 0.3,
+            "count err = {}",
+            shuffle.count_error
+        );
     }
 
     #[test]

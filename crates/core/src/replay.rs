@@ -137,11 +137,7 @@ pub fn replay(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> Repla
 /// # Errors
 ///
 /// As [`trace_to_flows`].
-pub fn replay_trace(
-    trace: &Trace,
-    topo: &Topology,
-    options: SimOptions,
-) -> Result<ReplayReport> {
+pub fn replay_trace(trace: &Trace, topo: &Topology, options: SimOptions) -> Result<ReplayReport> {
     let flows = trace_to_flows(trace, topo)?;
     Ok(replay(topo, &flows, options))
 }

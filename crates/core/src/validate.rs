@@ -201,17 +201,17 @@ mod tests {
         let model = fit_model(&Dataset::from_traces(&traces)).unwrap();
         let report = validate_model(&model, &traces, 5, 99).unwrap();
         let shuffle = report.component(Component::Shuffle).unwrap();
-        assert!(
-            shuffle.ks_statistic < 0.1,
-            "KS = {}",
-            shuffle.ks_statistic
-        );
+        assert!(shuffle.ks_statistic < 0.1, "KS = {}", shuffle.ks_statistic);
         assert!(
             shuffle.volume_error < 0.2,
             "volume error = {}",
             shuffle.volume_error
         );
-        assert!(shuffle.count_error < 0.1, "count error = {}", shuffle.count_error);
+        assert!(
+            shuffle.count_error < 0.1,
+            "count error = {}",
+            shuffle.count_error
+        );
         assert!(report.worst_ks() >= shuffle.ks_statistic);
         assert!(report.worst_volume_error() >= 0.0);
     }

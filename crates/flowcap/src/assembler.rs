@@ -157,11 +157,7 @@ impl FlowAssembler {
     /// by start time (ties broken by tuple for determinism).
     #[must_use]
     pub fn finish(mut self) -> Vec<FlowRecord> {
-        let mut rest: Vec<FlowRecord> = self
-            .active
-            .drain()
-            .map(|(_, p)| p.into_record())
-            .collect();
+        let mut rest: Vec<FlowRecord> = self.active.drain().map(|(_, p)| p.into_record()).collect();
         self.finished.append(&mut rest);
         self.finished.sort_by_key(|f| {
             (
@@ -203,7 +199,14 @@ mod tests {
     fn single_flow_bidirectional() {
         let mut asm = FlowAssembler::new();
         asm.push(PacketRecord::syn(t(0), NodeId(0), 100, NodeId(1), 200, 10));
-        asm.push(PacketRecord::data(t(1), NodeId(1), 200, NodeId(0), 100, 500));
+        asm.push(PacketRecord::data(
+            t(1),
+            NodeId(1),
+            200,
+            NodeId(0),
+            100,
+            500,
+        ));
         asm.push(PacketRecord::data(t(2), NodeId(0), 100, NodeId(1), 200, 20));
         asm.push(PacketRecord::fin(t(3), NodeId(0), 100, NodeId(1), 200, 0));
         let flows = asm.finish();
@@ -249,9 +252,23 @@ mod tests {
     fn idle_timeout_splits_flows() {
         let mut asm = FlowAssembler::with_idle_timeout(Duration::from_secs(1));
         asm.push(PacketRecord::data(t(0), NodeId(0), 100, NodeId(1), 200, 10));
-        asm.push(PacketRecord::data(t(500), NodeId(0), 100, NodeId(1), 200, 10));
+        asm.push(PacketRecord::data(
+            t(500),
+            NodeId(0),
+            100,
+            NodeId(1),
+            200,
+            10,
+        ));
         // 2 s gap > 1 s timeout: this starts a new flow.
-        asm.push(PacketRecord::data(t(2_500), NodeId(0), 100, NodeId(1), 200, 10));
+        asm.push(PacketRecord::data(
+            t(2_500),
+            NodeId(0),
+            100,
+            NodeId(1),
+            200,
+            10,
+        ));
         let flows = asm.finish();
         assert_eq!(flows.len(), 2);
         assert_eq!(flows[0].packets, 2);
@@ -274,7 +291,14 @@ mod tests {
         // First observed packet is from the "server" side (partial capture):
         // the assembler orients the flow from that side.
         let mut asm = FlowAssembler::new();
-        asm.push(PacketRecord::data(t(0), NodeId(9), 200, NodeId(8), 100, 1000));
+        asm.push(PacketRecord::data(
+            t(0),
+            NodeId(9),
+            200,
+            NodeId(8),
+            100,
+            1000,
+        ));
         asm.push(PacketRecord::data(t(1), NodeId(8), 100, NodeId(9), 200, 10));
         let flows = asm.finish();
         assert_eq!(flows[0].tuple.src, NodeId(9));

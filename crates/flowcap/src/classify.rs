@@ -24,9 +24,7 @@ use crate::flow::FlowRecord;
 use crate::ports;
 
 /// The Hadoop traffic components Keddah models.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Component {
     /// Block data pulled from a DataNode.
@@ -175,7 +173,10 @@ mod tests {
 
     #[test]
     fn shuffle_port() {
-        assert_eq!(classify(&flow(ports::SHUFFLE, 50, 1 << 20)), Component::Shuffle);
+        assert_eq!(
+            classify(&flow(ports::SHUFFLE, 50, 1 << 20)),
+            Component::Shuffle
+        );
     }
 
     #[test]

@@ -34,16 +34,10 @@ impl TrafficMatrix {
             let matrix = out.entry(component).or_default();
             // Credit each direction's bytes to its actual sender.
             if f.fwd_bytes > 0 {
-                *matrix
-                    .cells
-                    .entry((f.tuple.src, f.tuple.dst))
-                    .or_insert(0) += f.fwd_bytes;
+                *matrix.cells.entry((f.tuple.src, f.tuple.dst)).or_insert(0) += f.fwd_bytes;
             }
             if f.rev_bytes > 0 {
-                *matrix
-                    .cells
-                    .entry((f.tuple.dst, f.tuple.src))
-                    .or_insert(0) += f.rev_bytes;
+                *matrix.cells.entry((f.tuple.dst, f.tuple.src)).or_insert(0) += f.rev_bytes;
             }
         }
         out

@@ -150,10 +150,7 @@ impl Timeline {
     /// Total bytes across all bins and components.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.bins
-            .iter()
-            .flat_map(|b| b.bytes.values())
-            .sum()
+        self.bins.iter().flat_map(|b| b.bytes.values()).sum()
     }
 
     /// The byte series for one component, one value per bin.

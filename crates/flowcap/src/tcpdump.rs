@@ -143,9 +143,7 @@ fn parse_ts(raw: &str) -> Result<SimTime, String> {
     if micros.len() != 6 {
         return Err(format!("timestamp needs 6 fractional digits: {raw}"));
     }
-    let micros_val: u64 = micros
-        .parse()
-        .map_err(|_| format!("bad timestamp {raw}"))?;
+    let micros_val: u64 = micros.parse().map_err(|_| format!("bad timestamp {raw}"))?;
     Ok(SimTime::from_micros(secs * 1_000_000 + micros_val))
 }
 
@@ -157,9 +155,7 @@ fn parse_endpoint(raw: &str) -> Result<(NodeId, u16), String> {
     let node = host
         .strip_prefix("node")
         .ok_or_else(|| format!("expected node<N> hostname, found {host}"))?;
-    let node: u32 = node
-        .parse()
-        .map_err(|_| format!("bad node id in {raw}"))?;
+    let node: u32 = node.parse().map_err(|_| format!("bad node id in {raw}"))?;
     let port: u16 = port.parse().map_err(|_| format!("bad port in {raw}"))?;
     Ok((NodeId(node), port))
 }

@@ -240,22 +240,20 @@ impl Trace {
     pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, TraceError> {
         let mut lines = BufReader::new(reader).lines();
         let header = lines.next().ok_or(TraceError::MissingHeader)??;
-        let meta: TraceMeta =
-            serde_json::from_str(&header).map_err(|e| TraceError::Parse {
-                line: 1,
-                message: e.to_string(),
-            })?;
+        let meta: TraceMeta = serde_json::from_str(&header).map_err(|e| TraceError::Parse {
+            line: 1,
+            message: e.to_string(),
+        })?;
         let mut flows = Vec::new();
         for (i, line) in lines.enumerate() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let flow: FlowRecord =
-                serde_json::from_str(&line).map_err(|e| TraceError::Parse {
-                    line: i + 2,
-                    message: e.to_string(),
-                })?;
+            let flow: FlowRecord = serde_json::from_str(&line).map_err(|e| TraceError::Parse {
+                line: i + 2,
+                message: e.to_string(),
+            })?;
             flows.push(flow);
         }
         Ok(Trace { meta, flows })

@@ -59,7 +59,7 @@ impl ClusterSpec {
         if self.racks == 0 || self.nodes_per_rack == 0 {
             return Err(HadoopError::InvalidConfig("cluster must be non-empty"));
         }
-        if !(self.nic_bps > 0.0) {
+        if self.nic_bps.is_nan() || self.nic_bps <= 0.0 {
             return Err(HadoopError::InvalidConfig("nic_bps must be positive"));
         }
         Ok(())
@@ -152,8 +152,20 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_spec() {
-        assert!(ClusterSpec { racks: 0, nodes_per_rack: 1, nic_bps: 1e9 }.validate().is_err());
-        assert!(ClusterSpec { racks: 1, nodes_per_rack: 1, nic_bps: 0.0 }.validate().is_err());
+        assert!(ClusterSpec {
+            racks: 0,
+            nodes_per_rack: 1,
+            nic_bps: 1e9
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterSpec {
+            racks: 1,
+            nodes_per_rack: 1,
+            nic_bps: 0.0
+        }
+        .validate()
+        .is_err());
         ClusterSpec::racks(1, 1).validate().unwrap();
     }
 }

@@ -145,20 +145,36 @@ impl HadoopConfig {
         if self.slots_per_node == 0 {
             return Err(HadoopError::InvalidConfig("slots_per_node must be >= 1"));
         }
-        if !(self.map_rate_bps > 0.0) || !(self.reduce_rate_bps > 0.0) {
-            return Err(HadoopError::InvalidConfig("processing rates must be positive"));
+        if self.map_rate_bps.is_nan()
+            || self.map_rate_bps <= 0.0
+            || self.reduce_rate_bps.is_nan()
+            || self.reduce_rate_bps <= 0.0
+        {
+            return Err(HadoopError::InvalidConfig(
+                "processing rates must be positive",
+            ));
         }
         if self.task_overhead_secs < 0.0 {
-            return Err(HadoopError::InvalidConfig("task_overhead_secs must be >= 0"));
+            return Err(HadoopError::InvalidConfig(
+                "task_overhead_secs must be >= 0",
+            ));
         }
-        if !(self.nm_heartbeat_secs > 0.0) || !(self.umbilical_secs > 0.0) {
-            return Err(HadoopError::InvalidConfig("heartbeat intervals must be positive"));
+        if self.nm_heartbeat_secs.is_nan()
+            || self.nm_heartbeat_secs <= 0.0
+            || self.umbilical_secs.is_nan()
+            || self.umbilical_secs <= 0.0
+        {
+            return Err(HadoopError::InvalidConfig(
+                "heartbeat intervals must be positive",
+            ));
         }
         if self.task_noise_sigma < 0.0 {
             return Err(HadoopError::InvalidConfig("task_noise_sigma must be >= 0"));
         }
         if !(0.0..=1.0).contains(&self.locality_miss) {
-            return Err(HadoopError::InvalidConfig("locality_miss must be in [0, 1]"));
+            return Err(HadoopError::InvalidConfig(
+                "locality_miss must be in [0, 1]",
+            ));
         }
         if !(0.0..=1.0).contains(&self.task_failure_prob) {
             return Err(HadoopError::InvalidConfig(
@@ -202,16 +218,71 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(HadoopConfig { block_bytes: 10, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { replication: 0, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { reducers: 0, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { slowstart: 1.5, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { slots_per_node: 0, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { map_rate_bps: 0.0, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { task_noise_sigma: -0.1, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { locality_miss: 1.5, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { task_failure_prob: -0.1, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { max_task_attempts: 0, ..Default::default() }.validate().is_err());
-        assert!(HadoopConfig { speculation_threshold: 2.0, ..Default::default() }.validate().is_err());
+        assert!(HadoopConfig {
+            block_bytes: 10,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            replication: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            reducers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            slowstart: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            slots_per_node: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            map_rate_bps: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            task_noise_sigma: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            locality_miss: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            task_failure_prob: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            max_task_attempts: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            speculation_threshold: 2.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -52,12 +52,7 @@ pub struct JobRun {
 /// assert!(!run.trace.is_empty());
 /// ```
 #[must_use]
-pub fn run_job(
-    cluster: &ClusterSpec,
-    config: &HadoopConfig,
-    job: &JobSpec,
-    seed: u64,
-) -> JobRun {
+pub fn run_job(cluster: &ClusterSpec, config: &HadoopConfig, job: &JobSpec, seed: u64) -> JobRun {
     run_job_with_packets(cluster, config, job, seed).0
 }
 
@@ -218,8 +213,27 @@ pub fn run_repeats(
     seed_base: u64,
     repeats: u32,
 ) -> Vec<JobRun> {
-    (0..repeats)
-        .map(|i| run_job(cluster, config, job, seed_base + u64::from(i)))
+    let seeds: Vec<u64> = (0..repeats).map(|i| seed_base + u64::from(i)).collect();
+    run_repeats_seeded(cluster, config, job, &seeds)
+}
+
+/// Runs the same job once per seed in `seeds`, in order.
+///
+/// The seed-stream form of [`run_repeats`]: callers that derive their
+/// seeds (e.g. the experiment runner's per-cell splitmix64 streams)
+/// control exactly which runs are produced, and the output is a pure
+/// function of `(cluster, config, job, seeds)` — independent of who
+/// calls it or in what larger context.
+#[must_use]
+pub fn run_repeats_seeded(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    job: &JobSpec,
+    seeds: &[u64],
+) -> Vec<JobRun> {
+    seeds
+        .iter()
+        .map(|&seed| run_job(cluster, config, job, seed))
         .collect()
 }
 
@@ -291,6 +305,24 @@ mod tests {
     }
 
     #[test]
+    fn seeded_repeats_match_contiguous_repeats() {
+        let cluster = ClusterSpec::racks(2, 2);
+        let config = HadoopConfig::default().with_reducers(2);
+        let job = JobSpec::new(Workload::WordCount, 256 << 20);
+        let contiguous = run_repeats(&cluster, &config, &job, 50, 2);
+        let seeded = run_repeats_seeded(&cluster, &config, &job, &[50, 51]);
+        assert_eq!(contiguous.len(), seeded.len());
+        for (a, b) in contiguous.iter().zip(&seeded) {
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.duration, b.duration);
+        }
+        // Arbitrary (non-contiguous) seed streams work too.
+        let sparse = run_repeats_seeded(&cluster, &config, &job, &[51, 7]);
+        assert_eq!(sparse[0].trace, seeded[1].trace);
+        assert_eq!(sparse[1].trace.meta().seed, 7);
+    }
+
+    #[test]
     fn packets_match_assembled_trace() {
         let (run, packets) = run_job_with_packets(
             &ClusterSpec::racks(2, 2),
@@ -337,10 +369,7 @@ mod tests {
         );
         // One contiguous trace covers both jobs.
         assert_eq!(session.trace.meta().workload, "teragen+terasort");
-        assert!(
-            session.trace.makespan().as_secs_f64()
-                >= session.job_ends[1].as_secs_f64() * 0.9
-        );
+        assert!(session.trace.makespan().as_secs_f64() >= session.job_ends[1].as_secs_f64() * 0.9);
         // Heartbeats span the whole session (control flows near the end).
         let last_control = session
             .trace

@@ -66,7 +66,10 @@ impl Hdfs {
         replication: u16,
         rng: &mut StdRng,
     ) -> Vec<Block> {
-        assert!(block_bytes > 0 && file_bytes > 0, "file and block sizes must be positive");
+        assert!(
+            block_bytes > 0 && file_bytes > 0,
+            "file and block sizes must be positive"
+        );
         assert!(
             (replication as u32) <= self.cluster.worker_count(),
             "replication {replication} exceeds worker count {}",
@@ -154,14 +157,10 @@ impl Hdfs {
             .workers()
             .filter(|&w| self.cluster.rack_of(w) != first_rack)
             .collect();
-        let second = off_rack
-            .as_slice()
-            .choose(rng)
-            .copied()
-            .unwrap_or_else(|| {
-                // Single-rack cluster: any other node.
-                pick_excluding(&self.cluster, &targets, rng)
-            });
+        let second = off_rack.as_slice().choose(rng).copied().unwrap_or_else(|| {
+            // Single-rack cluster: any other node.
+            pick_excluding(&self.cluster, &targets, rng)
+        });
         targets.push(second);
         // Third and later replicas: same rack as the second, else anywhere,
         // never repeating a node.
@@ -268,7 +267,10 @@ mod tests {
             replicas: vec![NodeId(1), NodeId(4)],
         };
         // Local replica: no network read.
-        assert_eq!(hdfs.select_read_replica(&block, NodeId(1), &mut rng()), None);
+        assert_eq!(
+            hdfs.select_read_replica(&block, NodeId(1), &mut rng()),
+            None
+        );
         // Rack-local preferred: node 2 shares rack 0 with node 1.
         for _ in 0..20 {
             assert_eq!(

@@ -119,7 +119,16 @@ impl NetModel {
             .push(Reverse((finish.as_nanos(), client.0, server.0)));
 
         let client_port = self.ports.next(client);
-        self.emit_packets(now, finish, client, client_port, server, server_port, bytes, payload);
+        self.emit_packets(
+            now,
+            finish,
+            client,
+            client_port,
+            server,
+            server_port,
+            bytes,
+            payload,
+        );
         finish
     }
 
@@ -250,7 +259,7 @@ impl NetModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use keddah_flowcap::{classify, Component, FlowAssembler, ports};
+    use keddah_flowcap::{classify, ports, Component, FlowAssembler};
 
     #[test]
     fn uncontended_transfer_time() {
@@ -394,8 +403,22 @@ mod tests {
     #[test]
     fn take_packets_sorted() {
         let mut net = NetModel::new(1e9);
-        net.transfer(SimTime::from_secs(5), NodeId(1), NodeId(2), 50010, 1000, Payload::ToServer);
-        net.transfer(SimTime::ZERO, NodeId(3), NodeId(4), 50010, 1000, Payload::ToServer);
+        net.transfer(
+            SimTime::from_secs(5),
+            NodeId(1),
+            NodeId(2),
+            50010,
+            1000,
+            Payload::ToServer,
+        );
+        net.transfer(
+            SimTime::ZERO,
+            NodeId(3),
+            NodeId(4),
+            50010,
+            1000,
+            Payload::ToServer,
+        );
         let packets = net.take_packets();
         for w in packets.windows(2) {
             assert!(w[0].ts <= w[1].ts);

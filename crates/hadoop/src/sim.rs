@@ -237,9 +237,7 @@ impl<'a> RoundSim<'a> {
             now = ev.at;
             end = end.max(now);
             match ev.event {
-                Event::MapDone { map, attempt } => {
-                    self.on_map_done(map, attempt, now, &mut queue)
-                }
+                Event::MapDone { map, attempt } => self.on_map_done(map, attempt, now, &mut queue),
                 Event::MapComputeDone { map, attempt } => {
                     self.on_map_compute_done(map, attempt, now, &mut queue)
                 }
@@ -327,12 +325,11 @@ impl<'a> RoundSim<'a> {
         // Pass 3: reducers (after slow-start), capped at half the cluster
         // slots while maps are still pending so maps keep priority.
         if self.reducers_released {
-            let total_slots =
-                (self.cluster.worker_count() * self.config.slots_per_node) as u32;
+            let total_slots = self.cluster.worker_count() * self.config.slots_per_node;
             for &node in &workers {
                 while self.slot_free(node) && !self.pending_reducers.is_empty() {
-                    let maps_outstanding = !self.pending_maps.is_empty()
-                        || self.completed_maps < self.maps.len();
+                    let maps_outstanding =
+                        !self.pending_maps.is_empty() || self.completed_maps < self.maps.len();
                     if maps_outstanding && self.running_reducers >= total_slots / 2 {
                         return;
                     }
@@ -375,8 +372,14 @@ impl<'a> RoundSim<'a> {
             now
         } else {
             // NameNode RPC: getBlockLocations.
-            self.net
-                .exchange(now, node, self.cluster.master(), ports::NAMENODE_RPC, 300, 600);
+            self.net.exchange(
+                now,
+                node,
+                self.cluster.master(),
+                ports::NAMENODE_RPC,
+                300,
+                600,
+            );
             // Input: local disk or an HDFS read over the network.
             let replica = {
                 let block = &self.maps[m].block;
@@ -453,9 +456,8 @@ impl<'a> RoundSim<'a> {
             .map(|&(_, n)| n)
             .expect("attempt is running");
         let out_noise = self.noise(0.2);
-        let output = ((self.maps[m].block.bytes as f64
-            * self.profile.map_selectivity
-            * out_noise) as u64)
+        let output = ((self.maps[m].block.bytes as f64 * self.profile.map_selectivity * out_noise)
+            as u64)
             .max(MIN_MAP_OUTPUT);
         let finish = self.write_output(node, output, now);
         queue.push(
@@ -489,7 +491,13 @@ impl<'a> RoundSim<'a> {
     /// the task back in the pending queue for a fresh attempt — which
     /// re-reads its input, generating the recovery traffic failures
     /// cause in practice.
-    fn on_map_failed(&mut self, m: usize, attempt: u32, now: SimTime, queue: &mut EventQueue<Event>) {
+    fn on_map_failed(
+        &mut self,
+        m: usize,
+        attempt: u32,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
         let node = self.retire_attempt(m, attempt, now);
         self.counters.failed_map_attempts += 1;
         if !self.maps[m].blacklist.contains(&node) {
@@ -510,9 +518,8 @@ impl<'a> RoundSim<'a> {
             return;
         }
         let out_noise = self.noise(0.5);
-        let output = ((self.maps[m].block.bytes as f64
-            * self.profile.map_selectivity
-            * out_noise) as u64)
+        let output = ((self.maps[m].block.bytes as f64 * self.profile.map_selectivity * out_noise)
+            as u64)
             .max(MIN_MAP_OUTPUT);
         self.maps[m].done = true;
         self.maps[m].winner = Some(node);
@@ -520,8 +527,9 @@ impl<'a> RoundSim<'a> {
         self.completed_maps += 1;
 
         // Slow-start: release reducers once enough maps completed.
-        let threshold =
-            (self.config.slowstart * self.maps.len() as f64).ceil().max(1.0) as usize;
+        let threshold = (self.config.slowstart * self.maps.len() as f64)
+            .ceil()
+            .max(1.0) as usize;
         if !self.reducers_released && self.completed_maps >= threshold {
             self.reducers_released = true;
         }
@@ -552,18 +560,13 @@ impl<'a> RoundSim<'a> {
         }
         let stragglers: Vec<usize> = (0..self.maps.len())
             .filter(|&m| {
-                !self.maps[m].done
-                    && !self.maps[m].speculated
-                    && self.maps[m].running.len() == 1
+                !self.maps[m].done && !self.maps[m].speculated && self.maps[m].running.len() == 1
             })
             .collect();
         let workers: Vec<NodeId> = self.cluster.workers().collect();
         for m in stragglers {
             let busy = self.maps[m].running[0].1;
-            let Some(&node) = workers
-                .iter()
-                .find(|&&w| w != busy && self.slot_free(w))
-            else {
+            let Some(&node) = workers.iter().find(|&&w| w != busy && self.slot_free(w)) else {
                 return; // cluster is full; try again on the next completion
             };
             self.maps[m].speculated = true;
@@ -585,7 +588,9 @@ impl<'a> RoundSim<'a> {
         self.running_reducers += 1;
         self.counters.reducers += 1;
         // Fetch everything already finished.
-        let done_maps: Vec<usize> = (0..self.maps.len()).filter(|&m| self.maps[m].done).collect();
+        let done_maps: Vec<usize> = (0..self.maps.len())
+            .filter(|&m| self.maps[m].done)
+            .collect();
         for m in done_maps {
             self.start_fetch(r, m, now, queue);
         }
@@ -621,13 +626,7 @@ impl<'a> RoundSim<'a> {
         }
     }
 
-    fn on_fetch_done(
-        &mut self,
-        r: usize,
-        bytes: u64,
-        now: SimTime,
-        queue: &mut EventQueue<Event>,
-    ) {
+    fn on_fetch_done(&mut self, r: usize, bytes: u64, now: SimTime, queue: &mut EventQueue<Event>) {
         self.reducers[r].fetched += 1;
         self.reducers[r].input_bytes += bytes;
         self.check_reduce_ready(r, now, queue);
@@ -716,8 +715,7 @@ impl<'a> RoundSim<'a> {
     /// drains.
     fn on_reduce_compute_done(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<Event>) {
         let node = self.reducers[r].node.expect("running reducer");
-        let output =
-            (self.reducers[r].input_bytes as f64 * self.profile.reduce_selectivity) as u64;
+        let output = (self.reducers[r].input_bytes as f64 * self.profile.reduce_selectivity) as u64;
         let finish = self.write_output(node, output, now);
         queue.push(
             finish.max(now + Duration::from_millis(10)),
@@ -757,7 +755,17 @@ pub(crate) fn simulate_job(
     rng: &mut StdRng,
     counters: &mut JobCounters,
 ) -> SimTime {
-    simulate_job_at(cluster, config, job, net, rng, counters, SimTime::ZERO, None).0
+    simulate_job_at(
+        cluster,
+        config,
+        job,
+        net,
+        rng,
+        counters,
+        SimTime::ZERO,
+        None,
+    )
+    .0
 }
 
 /// [`simulate_job`] generalized for chained sessions: the job starts at
@@ -802,15 +810,21 @@ pub(crate) fn simulate_job_at(
     for round in 0..profile.iterations {
         counters.rounds += 1;
         let sim = RoundSim::new(
-            cluster, config, profile, &hdfs, net, rng, counters, &mut tasks, am_node,
+            cluster,
+            config,
+            profile,
+            &hdfs,
+            net,
+            rng,
+            counters,
+            &mut tasks,
+            am_node,
             round_input,
         );
         let result = sim.run(t);
         job_end = result.end;
         last_output = result.output_blocks.clone();
-        round_input = if profile.reread_input {
-            original_blocks.clone()
-        } else if result.output_blocks.is_empty() {
+        round_input = if profile.reread_input || result.output_blocks.is_empty() {
             original_blocks.clone()
         } else {
             result.output_blocks
@@ -854,7 +868,8 @@ pub(crate) fn simulate_job_at(
         let mut at = interval.start;
         while at < interval.end {
             net.exchange(at, interval.node, am_node, ports::AM_UMBILICAL, 300, 150);
-            at += Duration::from_secs_f64(config.umbilical_secs * (0.9 + 0.2 * rng.random::<f64>()));
+            at +=
+                Duration::from_secs_f64(config.umbilical_secs * (0.9 + 0.2 * rng.random::<f64>()));
         }
     }
     // Job completion notification.
@@ -878,8 +893,7 @@ fn emit_periodic(
     resp_range: (u64, u64),
 ) {
     for client in clients {
-        let mut at =
-            from + Duration::from_secs_f64(interval_secs * rng.random::<f64>());
+        let mut at = from + Duration::from_secs_f64(interval_secs * rng.random::<f64>());
         while at < until {
             let req = rng.random_range(req_range.0..=req_range.1);
             let resp = rng.random_range(resp_range.0..=resp_range.1);
@@ -959,7 +973,11 @@ mod tests {
         // replication 1 (which only has the off-node hops of non-local
         // first replicas: zero, since writers are DataNodes).
         assert_eq!(totals[0], 0, "replication 1 from a DataNode is all-local");
-        assert!(totals[1] > (1u64 << 29), "replication 3 moved {}", totals[1]);
+        assert!(
+            totals[1] > (1u64 << 29),
+            "replication 3 moved {}",
+            totals[1]
+        );
     }
 
     #[test]
@@ -1015,10 +1033,9 @@ mod tests {
         asm.extend(net.take_packets());
         let mut flows = asm.finish();
         classify::classify_all(&mut flows);
-        assert!(flows.iter().all(|f| matches!(
-            f.component,
-            Some(Component::HdfsWrite | Component::Control)
-        )));
+        assert!(flows
+            .iter()
+            .all(|f| matches!(f.component, Some(Component::HdfsWrite | Component::Control))));
     }
 
     #[test]

@@ -212,7 +212,10 @@ mod tests {
         for &w in Workload::ALL {
             let p = w.profile();
             assert!(p.map_selectivity > 0.0 && p.map_selectivity <= 2.0, "{w}");
-            assert!(p.reduce_selectivity > 0.0 && p.reduce_selectivity <= 2.0, "{w}");
+            assert!(
+                p.reduce_selectivity > 0.0 && p.reduce_selectivity <= 2.0,
+                "{w}"
+            );
             assert!(p.iterations >= 1, "{w}");
             assert!(p.cpu_factor > 0.0, "{w}");
         }

@@ -200,7 +200,11 @@ pub fn simulate(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> Sim
                  remaining={:?}, rates={:?}",
                 active.len(),
                 flows.len(),
-                active.iter().map(|f| f.remaining_bits).take(5).collect::<Vec<_>>(),
+                active
+                    .iter()
+                    .map(|f| f.remaining_bits)
+                    .take(5)
+                    .collect::<Vec<_>>(),
                 rates.iter().take(5).collect::<Vec<_>>()
             );
         }
@@ -412,7 +416,7 @@ mod tests {
         let topo = Topology::star(2, 1e9);
         let report = simulate(&topo, &[flow(0, 1, 0, 0)], SimOptions::default());
         let fct = report.results[0].fct().as_secs_f64();
-        assert!(fct >= 0.0001 && fct < 0.001, "fct = {fct}");
+        assert!((0.0001..0.001).contains(&fct), "fct = {fct}");
     }
 
     #[test]
@@ -429,8 +433,7 @@ mod tests {
         // rate once enough of them compete for the uplink.
         let nb = Topology::leaf_spine(2, 4, 1, 1e9, 1.0);
         let os = Topology::leaf_spine(2, 4, 1, 1e9, 4.0);
-        let flows: Vec<FlowSpec> =
-            (0..4).map(|i| flow(i, 4 + i, 125_000_000, 0)).collect();
+        let flows: Vec<FlowSpec> = (0..4).map(|i| flow(i, 4 + i, 125_000_000, 0)).collect();
         let fast = simulate(&nb, &flows, SimOptions::default());
         let slow = simulate(&os, &flows, SimOptions::default());
         let fast_mean: f64 = fast.fcts().iter().sum::<f64>() / 4.0;
@@ -478,7 +481,9 @@ mod tests {
         let short = [flow(0, 1, 100_000, 0)];
         let long = [flow(0, 1, 100_000_000, 0)];
         let rel = |flows: &[FlowSpec]| {
-            let with = simulate(&topo, flows, opts_ss).results[0].fct().as_secs_f64();
+            let with = simulate(&topo, flows, opts_ss).results[0]
+                .fct()
+                .as_secs_f64();
             let without = simulate(&topo, flows, opts_fluid).results[0]
                 .fct()
                 .as_secs_f64();
@@ -486,7 +491,10 @@ mod tests {
         };
         let short_penalty = rel(&short);
         let long_penalty = rel(&long);
-        assert!(short_penalty > 5.0 * long_penalty, "{short_penalty} vs {long_penalty}");
+        assert!(
+            short_penalty > 5.0 * long_penalty,
+            "{short_penalty} vs {long_penalty}"
+        );
         assert!(long_penalty >= 0.0);
     }
 

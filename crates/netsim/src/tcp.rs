@@ -155,9 +155,7 @@ pub fn simulate_tcp(topo: &Topology, flows: &[FlowSpec], options: TcpOptions) ->
         }
 
         // Offered load per link this round.
-        for d in &mut demand {
-            *d = 0.0;
-        }
+        demand.fill(0.0);
         let offers: Vec<f64> = active
             .iter()
             .map(|f| (f.cwnd * mss).min(f.remaining).max(mss.min(f.remaining)))

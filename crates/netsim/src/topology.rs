@@ -111,8 +111,14 @@ impl Topology {
         host_bps: f64,
         oversubscription: f64,
     ) -> Topology {
-        assert!(racks > 0 && hosts_per_rack > 0 && spines > 0, "empty fabric");
-        assert!(host_bps > 0.0 && oversubscription > 0.0, "rates must be positive");
+        assert!(
+            racks > 0 && hosts_per_rack > 0 && spines > 0,
+            "empty fabric"
+        );
+        assert!(
+            host_bps > 0.0 && oversubscription > 0.0,
+            "rates must be positive"
+        );
         let hosts = racks * hosts_per_rack;
         let leaf_base = hosts;
         let spine_base = hosts + racks;
@@ -125,8 +131,7 @@ impl Topology {
             let leaf = leaf_base + h / hosts_per_rack;
             t.cable(h, leaf, host_bps);
         }
-        let uplink_bps =
-            hosts_per_rack as f64 * host_bps / (spines as f64 * oversubscription);
+        let uplink_bps = hosts_per_rack as f64 * host_bps / (spines as f64 * oversubscription);
         for leaf in 0..racks {
             for spine in 0..spines {
                 t.cable(leaf_base + leaf, spine_base + spine, uplink_bps);
@@ -144,7 +149,10 @@ impl Topology {
     /// Panics unless `k` is even and at least 2.
     #[must_use]
     pub fn fat_tree(k: u32, link_bps: f64) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree requires even k >= 2"
+        );
         assert!(link_bps > 0.0, "link rate must be positive");
         let half = k / 2;
         let hosts = k * k * k / 4;
@@ -152,11 +160,7 @@ impl Topology {
         let agg_base = edge_base + k * half;
         let core_base = agg_base + k * half;
         let cores = half * half;
-        let mut t = Topology::new(
-            hosts,
-            core_base + cores,
-            format!("fat_tree(k={k})"),
-        );
+        let mut t = Topology::new(hosts, core_base + cores, format!("fat_tree(k={k})"));
         for pod in 0..k {
             for e in 0..half {
                 let edge = edge_base + pod * half + e;

@@ -280,7 +280,9 @@ mod tests {
     fn sampling_matches_source() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        let source: Vec<f64> = (0..5_000).map(|i| (i as f64 * 0.7).sin() * 10.0 + 20.0).collect();
+        let source: Vec<f64> = (0..5_000)
+            .map(|i| (i as f64 * 0.7).sin() * 10.0 + 20.0)
+            .collect();
         let d = Empirical::fit(&source).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let drawn: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();

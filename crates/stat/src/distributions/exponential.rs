@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn mle_rejects_bad_samples() {
-        assert!(matches!(Exponential::fit_mle(&[]), Err(StatError::EmptySample)));
+        assert!(matches!(
+            Exponential::fit_mle(&[]),
+            Err(StatError::EmptySample)
+        ));
         assert!(matches!(
             Exponential::fit_mle(&[1.0, -2.0]),
             Err(StatError::NonPositiveSample(_))

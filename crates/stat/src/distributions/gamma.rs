@@ -109,7 +109,8 @@ impl Distribution for Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - self.shape * self.scale.ln()
             - ln_gamma(self.shape)
     }
@@ -145,7 +146,11 @@ impl Distribution for Gamma {
             let mut next = if pdf > 0.0 { x - f / pdf } else { x };
             if !(next > lo && (hi.is_infinite() || next < hi)) {
                 // Newton left the bracket: bisect.
-                next = if hi.is_finite() { 0.5 * (lo + hi) } else { lo * 2.0 + 1.0 };
+                next = if hi.is_finite() {
+                    0.5 * (lo + hi)
+                } else {
+                    lo * 2.0 + 1.0
+                };
             }
             if (next - x).abs() < 1e-14 * x.max(1.0) {
                 x = next;
@@ -167,7 +172,8 @@ impl Distribution for Gamma {
     /// Marsaglia–Tsang squeeze sampler (much faster than inverting the CDF).
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         fn next_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-            rng.random::<f64>().clamp(super::UNIT_EPS, 1.0 - super::UNIT_EPS)
+            rng.random::<f64>()
+                .clamp(super::UNIT_EPS, 1.0 - super::UNIT_EPS)
         }
         fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
             crate::special::std_normal_quantile(next_unit(rng))
@@ -192,9 +198,7 @@ impl Distribution for Gamma {
             }
             let v3 = v * v * v;
             let u = next_unit(rng);
-            if u < 1.0 - 0.0331 * x * x * x * x
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x * x * x * x || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3 * self.scale;
             }
         }

@@ -124,7 +124,7 @@ impl Distribution for LogLogistic {
         let lr = self.beta * (x / self.alpha).ln();
         // ln f = ln(beta/x) + lr - 2 ln(1 + e^lr), computed stably.
         let log1p_exp = if lr > 0.0 {
-            lr + (-lr as f64).exp().ln_1p()
+            lr + (-lr).exp().ln_1p()
         } else {
             lr.exp().ln_1p()
         };

@@ -64,7 +64,11 @@ impl Normal {
         check_sample(samples)?;
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         if var <= 0.0 {
             return Err(StatError::DegenerateSample("zero variance"));
         }

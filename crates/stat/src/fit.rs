@@ -10,11 +10,11 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::ad::ad_one_sample;
 use crate::distributions::{
     Distribution, Empirical, Exponential, Gamma, LogLogistic, LogNormal, Normal, Pareto, Uniform,
     Weibull,
 };
-use crate::ad::ad_one_sample;
 use crate::ks::{ks_one_sample, KsResult};
 use crate::{Result, StatError};
 
@@ -98,9 +98,7 @@ impl Candidate {
             Candidate::Exponential => FittedDist::Exponential(Exponential::fit_mle(samples)?),
             Candidate::Uniform => FittedDist::Uniform(Uniform::fit_mle(samples)?),
             Candidate::Normal => FittedDist::Normal(Normal::fit_mle(samples)?),
-            Candidate::LogLogistic => {
-                FittedDist::LogLogistic(LogLogistic::fit_mle(samples)?)
-            }
+            Candidate::LogLogistic => FittedDist::LogLogistic(LogLogistic::fit_mle(samples)?),
             Candidate::LogNormal => FittedDist::LogNormal(LogNormal::fit_mle(samples)?),
             Candidate::Weibull => FittedDist::Weibull(Weibull::fit_mle(samples)?),
             Candidate::Pareto => FittedDist::Pareto(Pareto::fit_mle(samples)?),
@@ -206,8 +204,7 @@ impl FittedDist {
                 Exponential::new(d.rate() / factor).expect("scaled rate is valid"),
             ),
             FittedDist::Uniform(d) => FittedDist::Uniform(
-                Uniform::new(d.low() * factor, d.high() * factor)
-                    .expect("scaled bounds are valid"),
+                Uniform::new(d.low() * factor, d.high() * factor).expect("scaled bounds are valid"),
             ),
             FittedDist::Normal(d) => FittedDist::Normal(
                 Normal::new(d.mu() * factor, d.sigma() * factor)
@@ -331,11 +328,7 @@ pub fn fit_all(samples: &[f64], candidates: &[Candidate]) -> Result<Vec<FitRepor
         let Ok(dist) = cand.fit(samples) else {
             continue;
         };
-        let Ok(KsResult {
-            statistic,
-            p_value,
-        }) = ks_one_sample(samples, |x| dist.cdf(x))
-        else {
+        let Ok(KsResult { statistic, p_value }) = ks_one_sample(samples, |x| dist.cdf(x)) else {
             continue;
         };
         let log_likelihood = dist.log_likelihood(samples);
@@ -424,10 +417,7 @@ mod tests {
                 FittedDist::LogNormal(LogNormal::new(1.0, 0.7).unwrap()),
                 "lognormal",
             ),
-            (
-                FittedDist::Pareto(Pareto::new(1.0, 1.8).unwrap()),
-                "pareto",
-            ),
+            (FittedDist::Pareto(Pareto::new(1.0, 1.8).unwrap()), "pareto"),
         ];
         for (truth, name) in cases {
             let xs = draw(&truth, 4000, 21);

@@ -165,7 +165,15 @@ mod tests {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|&v| 5.0 * v + 2.0 + if v as usize % 2 == 0 { 0.5 } else { -0.5 })
+            .map(|&v| {
+                5.0 * v
+                    + 2.0
+                    + if (v as usize).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
             .collect();
         let f = Linear::fit(&x, &y).unwrap();
         assert!((f.slope - 5.0).abs() < 0.01);

@@ -35,11 +35,8 @@ fn main() {
         let model = Keddah::fit(&traces).expect("every workload is modellable");
 
         let flows: usize = traces.iter().map(|t| t.len()).sum::<usize>() / traces.len();
-        let bytes = traces
-            .iter()
-            .map(|t| t.total_bytes() as f64)
-            .sum::<f64>()
-            / traces.len() as f64;
+        let bytes =
+            traces.iter().map(|t| t.total_bytes() as f64).sum::<f64>() / traces.len() as f64;
         let shuffle = model
             .component(keddah::flowcap::Component::Shuffle)
             .map(|c| (c.size_dist.to_string(), c.size_fit.ks_statistic));

@@ -30,10 +30,7 @@ impl Args {
                 args.help = true;
                 i += 1;
             } else if let Some(key) = token.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 let consumed = if value.is_some() { 2 } else { 1 };
                 if args
                     .flags
@@ -138,8 +135,15 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let a = Args::parse(&v(&["--workload", "terasort", "file1", "--repeats", "5", "file2"]))
-            .unwrap();
+        let a = Args::parse(&v(&[
+            "--workload",
+            "terasort",
+            "file1",
+            "--repeats",
+            "5",
+            "file2",
+        ]))
+        .unwrap();
         assert_eq!(a.get("workload"), Some("terasort"));
         assert_eq!(a.get_num::<u32>("repeats", 1).unwrap(), 5);
         assert_eq!(a.positional(), &["file1", "file2"]);

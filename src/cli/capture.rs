@@ -23,8 +23,12 @@ FLAGS:
     --block-mb <N>         HDFS block size in MiB       [default: 128]
     --repeats <N>          runs to capture              [default: 5]
     --seed <N>             base seed                    [default: 1]
+    --jobs <N>             simulate repeats on N threads [default: 1]
     --out <DIR>            output directory             [default: .]
-    --packets-out <DIR>    also write tcpdump-style packet text here";
+    --packets-out <DIR>    also write tcpdump-style packet text here
+
+Each repeat runs under seed, seed+1, ... regardless of --jobs: the
+parallelism changes wall-clock time, never the captures.";
 
 const FLAGS: &[&str] = &[
     "workload",
@@ -36,6 +40,7 @@ const FLAGS: &[&str] = &[
     "block-mb",
     "repeats",
     "seed",
+    "jobs",
     "out",
     "packets-out",
 ];
@@ -88,14 +93,45 @@ pub fn run(args: &Args) -> Result<()> {
         fs::create_dir_all(dir)?;
     }
 
+    let jobs: usize = args.get_num("jobs", 1usize)?.max(1);
+
     let job = JobSpec::new(workload, (input_gb * (1u64 << 30) as f64) as u64);
     eprintln!(
-        "capturing {repeats} run(s) of {job} on {} workers...",
+        "capturing {repeats} run(s) of {job} on {} workers (--jobs {jobs})...",
         cluster.worker_count()
     );
-    for i in 0..repeats {
-        let run_seed = seed + u64::from(i);
-        let (run, packets) = run_job_with_packets(&cluster, &config, &job, run_seed);
+    let seeds: Vec<u64> = (0..repeats).map(|i| seed + u64::from(i)).collect();
+    // Simulate in parallel (workers pull seeds from a shared queue),
+    // then write results in seed order so output is independent of
+    // scheduling.
+    let runs = {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(seeds.len()) {
+                let tx = tx.clone();
+                let (next, seeds, cluster, config, job) = (&next, &seeds, &cluster, &config, &job);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= seeds.len() {
+                        break;
+                    }
+                    let result = run_job_with_packets(cluster, config, job, seeds[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut slots: Vec<_> = seeds.iter().map(|_| None).collect();
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        slots
+    };
+    for (&run_seed, slot) in seeds.iter().zip(runs) {
+        let (run, packets) = slot.expect("every repeat completed");
         let stem = format!(
             "{}_{:.0}gb_r{}_seed{}",
             workload.name(),

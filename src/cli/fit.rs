@@ -59,8 +59,7 @@ pub(crate) fn load_traces(paths: &[String]) -> Result<Vec<Trace>> {
     paths
         .iter()
         .map(|path| {
-            let file = fs::File::open(path)
-                .map_err(|e| err(format!("cannot open {path}: {e}")))?;
+            let file = fs::File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
             Trace::read_jsonl(std::io::BufReader::new(file))
                 .map_err(|e| err(format!("cannot parse {path}: {e}")))
         })

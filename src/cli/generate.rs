@@ -33,8 +33,8 @@ pub fn run(args: &Args) -> Result<()> {
     }
     args.check_known(FLAGS)?;
     let model_path = args.require("model")?;
-    let json =
-        fs::read_to_string(model_path).map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
+    let json = fs::read_to_string(model_path)
+        .map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
     let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
     let jobs: u32 = args.get_num("jobs", 1u32)?;
     let seed: u64 = args.get_num("seed", 1u64)?;
@@ -50,8 +50,7 @@ pub fn run(args: &Args) -> Result<()> {
         "generated {jobs} job(s): {total_flows} flows, {:.2} GB",
         total_bytes as f64 / 1e9
     );
-    let payload =
-        serde_json::to_string_pretty(&generated).expect("generated jobs serialize");
+    let payload = serde_json::to_string_pretty(&generated).expect("generated jobs serialize");
     match args.get("out") {
         Some(path) => fs::write(path, payload)?,
         None => println!("{payload}"),

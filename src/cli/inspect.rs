@@ -61,10 +61,7 @@ pub fn run(args: &Args) -> Result<()> {
         );
         println!(
             "    {:<11} {:>8} arrivals ~ {}  [KS {:.3}]",
-            "",
-            "",
-            cm.start_dist,
-            cm.start_fit.ks_statistic
+            "", "", cm.start_dist, cm.start_fit.ks_statistic
         );
     }
     Ok(())

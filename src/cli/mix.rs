@@ -59,8 +59,7 @@ pub fn run(args: &Args) -> Result<()> {
             }
             _ => (spec.as_str(), 1.0),
         };
-        let json =
-            fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let json = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
         let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
         entries.push(MixEntry { model, weight });
     }

@@ -6,6 +6,7 @@ mod family;
 mod fit;
 mod generate;
 mod inspect;
+mod matrix;
 mod mix;
 mod replay;
 mod topo_spec;
@@ -49,6 +50,7 @@ USAGE:
 
 COMMANDS:
     capture    run simulated Hadoop jobs and write capture traces
+    matrix     run a workload/configuration matrix across CPU cores
     fit        fit a Keddah model from capture traces
     family     fit scaling-law model families and extrapolate
     inspect    print a model card for a fitted model
@@ -73,6 +75,7 @@ pub fn run(argv: &[String]) -> Result<()> {
     };
     match command.as_str() {
         "capture" => capture::run(&Args::parse(rest)?),
+        "matrix" => matrix::run(&Args::parse(rest)?),
         "fit" => fit::run(&Args::parse(rest)?),
         "family" => family::run(&Args::parse(rest)?),
         "inspect" => inspect::run(&Args::parse(rest)?),

@@ -62,7 +62,10 @@ pub fn parse_topology(spec: &str) -> Result<Topology> {
             })?;
             let d: Vec<u32> = dims
                 .split('x')
-                .map(|p| p.parse().map_err(|_| err(format!("bad dimensions `{dims}`"))))
+                .map(|p| {
+                    p.parse()
+                        .map_err(|_| err(format!("bad dimensions `{dims}`")))
+                })
                 .collect::<Result<_>>()?;
             let [racks, hosts, spines] = d.as_slice() else {
                 return Err(err(format!(
@@ -93,7 +96,7 @@ pub fn parse_topology(spec: &str) -> Result<Topology> {
                 .ok_or_else(|| err("fat-tree needs k: fat-tree:<k>[:<rate>]"))?
                 .parse()
                 .map_err(|_| err(format!("bad k in `{spec}`")))?;
-            if k < 2 || k % 2 != 0 {
+            if k < 2 || !k.is_multiple_of(2) {
                 return Err(err("fat-tree k must be even and >= 2"));
             }
             let rate = match parts.get(2) {

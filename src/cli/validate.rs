@@ -33,8 +33,8 @@ pub fn run(args: &Args) -> Result<()> {
     }
     args.check_known(FLAGS)?;
     let model_path = args.require("model")?;
-    let json =
-        fs::read_to_string(model_path).map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
+    let json = fs::read_to_string(model_path)
+        .map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
     let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
     if args.positional().is_empty() {
         return Err(err("no trace files given; run `keddah validate --help`"));

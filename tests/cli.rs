@@ -165,9 +165,17 @@ fn error_paths_are_reported() {
     assert!(run(&["replay", "--topology", "star:4"])
         .unwrap_err()
         .contains("--model or --trace"));
-    assert!(run(&["replay", "--model", "x", "--trace", "y", "--topology", "star:4"])
-        .unwrap_err()
-        .contains("not both"));
+    assert!(run(&[
+        "replay",
+        "--model",
+        "x",
+        "--trace",
+        "y",
+        "--topology",
+        "star:4"
+    ])
+    .unwrap_err()
+    .contains("not both"));
     assert!(run(&["generate", "--model", "/nonexistent.json"])
         .unwrap_err()
         .contains("cannot read"));
@@ -178,7 +186,9 @@ fn error_paths_are_reported() {
 
 #[test]
 fn help_everywhere() {
-    for cmd in ["capture", "fit", "inspect", "generate", "replay", "validate"] {
+    for cmd in [
+        "capture", "fit", "inspect", "generate", "replay", "validate",
+    ] {
         run(&[cmd, "--help"]).expect("help succeeds");
     }
     run(&["help"]).expect("top-level help");
@@ -216,7 +226,10 @@ fn family_fit_and_extrapolate() {
         let mut fit_args = vec![
             "fit".to_string(),
             "--out".to_string(),
-            dir.join(format!("model{gb}.json")).to_str().unwrap().to_string(),
+            dir.join(format!("model{gb}.json"))
+                .to_str()
+                .unwrap()
+                .to_string(),
         ];
         fit_args.extend(traces);
         keddah::cli::run(&fit_args).expect("fit anchor");
@@ -311,16 +324,17 @@ fn mix_generates_and_replays() {
         &format!("{}:2.5", model.to_str().unwrap()),
     ])
     .expect("mix generates and replays");
-    let jobs: Vec<keddah::core::GeneratedJob> = serde_json::from_str(
-        &std::fs::read_to_string(&jobs_out).expect("jobs written"),
-    )
-    .expect("jobs parse");
+    let jobs: Vec<keddah::core::GeneratedJob> =
+        serde_json::from_str(&std::fs::read_to_string(&jobs_out).expect("jobs written"))
+            .expect("jobs parse");
     assert!(!jobs.is_empty());
 
     // Error paths.
     assert!(run(&["mix"]).unwrap_err().contains("no model files"));
-    assert!(run(&["mix", "--horizon-secs", "0", model.to_str().unwrap()])
-        .unwrap_err()
-        .contains("positive"));
+    assert!(
+        run(&["mix", "--horizon-secs", "0", model.to_str().unwrap()])
+            .unwrap_err()
+            .contains("positive")
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -40,8 +40,12 @@ fn full_pipeline_is_deterministic() {
         let model = Keddah::fit(&traces).expect("fits");
         let generated = model.generate_job(7);
         let topo = Topology::star(8, 1e9);
-        let replay = replay_jobs(&[generated.clone()], &topo, SimOptions::default())
-            .expect("replays");
+        let replay = replay_jobs(
+            std::slice::from_ref(&generated),
+            &topo,
+            SimOptions::default(),
+        )
+        .expect("replays");
         (model, generated, replay.sim.fcts())
     };
     let (m1, g1, f1) = run(5);

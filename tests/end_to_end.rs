@@ -22,7 +22,10 @@ fn capture_model_generate_replay_validate() {
     assert_eq!(traces.len(), 4);
     for t in &traces {
         assert!(t.len() > 50, "trace too small: {}", t.len());
-        assert!(t.total_bytes() > 1 << 30, "terasort moves more than its input");
+        assert!(
+            t.total_bytes() > 1 << 30,
+            "terasort moves more than its input"
+        );
     }
 
     // Model.
@@ -73,11 +76,7 @@ fn workload_orderings_match_the_paper() {
         let traces = Keddah::capture(&cluster, &config, &JobSpec::new(w, 1 << 30), 2, 33);
         traces
             .iter()
-            .map(|t| {
-                t.component_sizes(Component::Shuffle)
-                    .iter()
-                    .sum::<f64>() as u64
-            })
+            .map(|t| t.component_sizes(Component::Shuffle).iter().sum::<f64>() as u64)
             .sum::<u64>()
             / 2
     };
@@ -130,7 +129,10 @@ fn reducer_sweep_reshapes_shuffle() {
     };
     let (n4, mean4) = shuffle_shape(4);
     let (n16, mean16) = shuffle_shape(16);
-    assert!(n16 > 2 * n4, "flow count should grow with reducers: {n4} -> {n16}");
+    assert!(
+        n16 > 2 * n4,
+        "flow count should grow with reducers: {n4} -> {n16}"
+    );
     assert!(
         mean16 < mean4 / 2.0,
         "per-flow size should shrink with reducers: {mean4} -> {mean16}"

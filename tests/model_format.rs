@@ -65,7 +65,12 @@ fn family_json_schema_is_stable() {
         .collect();
     let family = ModelFamily::fit(&anchors).expect("family fits");
     let json = family.to_json();
-    for landmark in ["\"anchors\"", "\"count_laws\"", "\"makespan_law\"", "\"exponent\""] {
+    for landmark in [
+        "\"anchors\"",
+        "\"count_laws\"",
+        "\"makespan_law\"",
+        "\"exponent\"",
+    ] {
         assert!(json.contains(landmark), "family JSON lost {landmark}");
     }
     assert_eq!(ModelFamily::from_json(&json).expect("parses"), family);
@@ -112,5 +117,8 @@ fn tcpdump_text_roundtrips_a_real_capture() {
         .iter()
         .filter(|f| f.component == Some(Component::Shuffle))
         .count();
-    assert_eq!(shuffle, run.trace.component_flows(Component::Shuffle).count());
+    assert_eq!(
+        shuffle,
+        run.trace.component_flows(Component::Shuffle).count()
+    );
 }

@@ -49,7 +49,10 @@ fn fluid_and_tcp_rank_fabrics_identically() {
     let fluid: Vec<f64> = fabrics.iter().map(|t| mean_fct_fluid(t, &flows)).collect();
     let tcp: Vec<f64> = fabrics.iter().map(|t| mean_fct_tcp(t, &flows)).collect();
     // Both models order the fabrics the same way.
-    assert!(fluid[0] <= fluid[1] && fluid[1] <= fluid[2], "fluid: {fluid:?}");
+    assert!(
+        fluid[0] <= fluid[1] && fluid[1] <= fluid[2],
+        "fluid: {fluid:?}"
+    );
     assert!(tcp[0] <= tcp[1] && tcp[1] <= tcp[2], "tcp: {tcp:?}");
     // And they agree on the magnitude of the 4:1 penalty within 2x.
     let fluid_penalty = fluid[2] / fluid[0];

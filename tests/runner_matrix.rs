@@ -1,0 +1,87 @@
+//! The experiment runner's contract: matrix results are a pure function
+//! of the cells — independent of worker count, cell order, and cache
+//! state — and duplicated cells are fitted once.
+
+use keddah::core::runner::{MatrixCell, Runner};
+use keddah::hadoop::{ClusterSpec, HadoopConfig, Workload};
+
+fn testbed() -> ClusterSpec {
+    ClusterSpec::racks(2, 3)
+}
+
+fn small_matrix() -> Vec<MatrixCell> {
+    let config = HadoopConfig::default().with_reducers(4);
+    vec![
+        MatrixCell::new(Workload::TeraSort, 512 << 20, config.clone(), 2),
+        MatrixCell::new(Workload::Grep, 256 << 20, config.clone(), 2),
+        MatrixCell::new(
+            Workload::WordCount,
+            512 << 20,
+            config.with_replication(2),
+            1,
+        ),
+    ]
+}
+
+#[test]
+fn run_matrix_is_identical_across_worker_counts() {
+    let cells = small_matrix();
+    let serial = Runner::new(testbed()).run_matrix(&cells, 1);
+    let parallel = Runner::new(testbed()).run_matrix(&cells, 8);
+    assert_eq!(serial, parallel);
+    // Byte-identical serialized form, not just structural equality.
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn cell_results_do_not_depend_on_matrix_position() {
+    let cells = small_matrix();
+    let in_matrix = Runner::new(testbed()).run_matrix(&cells, 2);
+    // The same cell run alone, on a fresh runner, gives the same result:
+    // seeds come from cell identity, not from position or shared state.
+    let alone = Runner::new(testbed()).run_cell(&cells[1]);
+    assert_eq!(in_matrix[1], alone);
+}
+
+#[test]
+fn duplicated_cells_are_fitted_once() {
+    let config = HadoopConfig::default().with_reducers(4);
+    let cell = MatrixCell::new(Workload::TeraSort, 512 << 20, config, 2);
+    let runner = Runner::new(testbed());
+    let results = runner.run_matrix(&[cell.clone(), cell.clone(), cell], 1);
+    // First occurrence simulates and fits; the other two are cache hits
+    // (deterministic at parallelism 1).
+    assert_eq!(runner.cache_hits(), 2);
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    assert!(results[0].model.is_some());
+}
+
+#[test]
+fn repeated_matrix_on_one_runner_reuses_every_cell() {
+    let cells = small_matrix();
+    let runner = Runner::new(testbed());
+    let first = runner.run_matrix(&cells, 2);
+    let hits_after_first = runner.cache_hits();
+    let second = runner.run_matrix(&cells, 2);
+    assert_eq!(first, second);
+    assert_eq!(
+        runner.cache_hits() - hits_after_first,
+        cells.len() as u64,
+        "second pass is served entirely from cache"
+    );
+}
+
+#[test]
+fn derived_seeds_are_recorded_in_results() {
+    let cells = small_matrix();
+    let results = Runner::new(testbed()).run_matrix(&cells, 2);
+    for (cell, result) in cells.iter().zip(&results) {
+        assert_eq!(result.seeds, cell.seeds());
+        let recorded: Vec<u64> = result.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(recorded, result.seeds);
+    }
+}

@@ -1,0 +1,540 @@
+//! Offline drop-in subset of [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the serialization surface it uses: the [`Serialize`] /
+//! [`Deserialize`] traits, derive macros for plain structs and enums
+//! (including `#[serde(rename_all)]`, `#[serde(transparent)]` and
+//! internally tagged enums via `#[serde(tag = "...")]`), and impls for
+//! the std types Keddah's models contain.
+//!
+//! Unlike upstream serde's visitor architecture, this subset round-trips
+//! through an owned JSON-like [`Value`] tree — simpler, and fast enough
+//! for model files that are kilobytes, not gigabytes. One deliberate
+//! deviation: non-finite floats serialize as the strings `"inf"`,
+//! `"-inf"` and `"nan"` (upstream serde_json writes `null`), so that
+//! summaries containing sentinel infinities survive a round trip.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate form every type
+/// (de)serializes through.
+///
+/// Objects preserve insertion order (a `Vec`, not a map) so struct
+/// fields serialize in declaration order, deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float. Non-finite floats are encoded as strings.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A deserialization failure: what was expected, what was found, and
+/// the field path that led there.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from a free-form message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Builds the standard "expected X, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Error {
+        Error {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// Wraps the error with the field or variant that produced it.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Error {
+        Error {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first mismatch between the
+    /// value and the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+static NULL: Value = Value::Null;
+
+/// Looks up `name` in an object's entries; missing fields read as
+/// `null` so `Option` fields default to `None`.
+#[must_use]
+pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map_or(&NULL, |(_, value)| value)
+}
+
+/// Deserializes one struct field, attributing errors to the field name.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error with context attached.
+pub fn de_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    T::from_value(get_field(entries, name))
+        .map_err(|e| e.in_field(&format!("{type_name}.{name}")))
+}
+
+/// Splices an internal tag into a variant's serialized object — the
+/// codegen target for `#[serde(tag = "...")]` enums.
+///
+/// # Panics
+///
+/// Panics if the variant's payload did not serialize to an object
+/// (internally tagged representation requires struct-like payloads).
+#[must_use]
+pub fn internally_tagged(tag: &str, variant: &str, inner: Value) -> Value {
+    match inner {
+        Value::Object(mut entries) => {
+            entries.insert(0, (tag.to_string(), Value::Str(variant.to_string())));
+            Value::Object(entries)
+        }
+        other => panic!(
+            "internally tagged variant `{variant}` must serialize to an object, got {}",
+            other.kind()
+        ),
+    }
+}
+
+// ---- primitive impls ----
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range"))),
+                    _ => Err(Error::expected(stringify!($t), value)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        u64::from_value(value).and_then(|n| {
+            usize::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
+        })
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = match value {
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    Value::I64(n) => *n,
+                    _ => return Err(Error::expected(stringify!($t), value)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else if self.is_nan() {
+            Value::Str("nan".to_string())
+        } else if *self > 0.0 {
+            Value::Str("inf".to_string())
+        } else {
+            Value::Str("-inf".to_string())
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Str(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "nan" => Ok(f64::NAN),
+                _ => Err(Error::expected("f64", value)),
+            },
+            _ => Err(Error::expected("f64", value)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", value)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---- container impls ----
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for &T
+where
+    T: ?Sized,
+{
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let Value::Array(items) = value else {
+                    return Err(Error::expected("tuple as array", value));
+                };
+                let arity = [$($idx),+].len();
+                if items.len() != arity {
+                    return Err(Error::custom(format!(
+                        "expected {arity}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Encodes a map key: strings stay raw, everything else uses its
+/// compact JSON encoding (e.g. a tuple key becomes `"[1,2]"`).
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::Str(s) => s.clone(),
+        other => crate::json::write_compact(other),
+    }
+}
+
+/// Decodes a map key: tries the raw string first, then its JSON parse
+/// (so `"[1,2]"` round-trips back into a tuple key).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(parsed) = K::from_value(&Value::Str(key.to_string())) {
+        return Ok(parsed);
+    }
+    let reparsed = crate::json::parse(key)
+        .map_err(|e| Error::custom(format!("cannot parse map key `{key}`: {e}")))?;
+    K::from_value(&reparsed).map_err(|e| e.in_field(&format!("map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let Value::Object(entries) = value else {
+            return Err(Error::expected("map as object", value));
+        };
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    /// Hash maps serialize in sorted key order so output is
+    /// deterministic regardless of hasher state.
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let Value::Object(entries) = value else {
+            return Err(Error::expected("map as object", value));
+        };
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+pub mod json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        assert_eq!(
+            f64::from_value(&f64::INFINITY.to_value()).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            f64::from_value(&f64::NEG_INFINITY.to_value()).unwrap(),
+            f64::NEG_INFINITY
+        );
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let some: Option<u32> = Some(3);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), none);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn tuple_keyed_map_round_trips() {
+        let mut map: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        map.insert((1, 2), 10);
+        map.insert((3, 4), 20);
+        let back = BTreeMap::<(u32, u32), u64>::from_value(&map.to_value()).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let entries = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(get_field(&entries, "a"), &Value::U64(1));
+        assert_eq!(get_field(&entries, "b"), &Value::Null);
+        let opt: Option<u32> = de_field(&entries, "b", "T").unwrap();
+        assert_eq!(opt, None);
+        assert!(de_field::<u32>(&entries, "b", "T").is_err());
+    }
+}

@@ -1,0 +1,613 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The offline build has no `syn`/`quote`, so this crate parses the
+//! derive input token stream by hand. It supports exactly the shapes
+//! the Keddah workspace uses:
+//!
+//! - named-field structs (any field count, private fields included)
+//! - tuple structs (newtype structs serialize as their inner value,
+//!   wider ones as arrays)
+//! - enums with unit / newtype / tuple / struct variants in the
+//!   external representation
+//! - `#[serde(rename_all = "snake_case" | "lowercase")]` on enums
+//! - `#[serde(transparent)]` on newtype structs
+//! - `#[serde(tag = "...")]` internally tagged enums
+//!
+//! Generics and lifetimes are rejected with a compile error — nothing
+//! in the workspace derives serde on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ---- input model ----
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    transparent: bool,
+    tag: Option<String>,
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut attrs = SerdeAttrs::default();
+
+    // Leading attributes: pick out `#[serde(...)]`, skip the rest
+    // (doc comments arrive as `#[doc = "..."]`).
+    while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(group)) = tokens.get(pos + 1) {
+            parse_attr_group(&group.stream(), &mut attrs);
+        }
+        pos += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        pos += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored subset): generic type `{name}` is not supported");
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(&group.stream()))
+            }
+            _ => panic!("serde derive (vendored subset): unit struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&group.stream()))
+            }
+            _ => panic!("serde derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, attrs, data }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses the contents of one `[...]` attribute group, recording
+/// `serde(...)` keys.
+fn parse_attr_group(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let [TokenTree::Ident(attr_name), TokenTree::Group(args)] = &tokens[..] else {
+        return;
+    };
+    if attr_name.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let TokenTree::Ident(key) = &args[i] else {
+            panic!("serde derive: malformed #[serde(...)] attribute");
+        };
+        let key = key.to_string();
+        let value =
+            if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                let TokenTree::Literal(lit) = &args[i + 2] else {
+                    panic!("serde derive: expected string after `{key} =`");
+                };
+                i += 3;
+                Some(unquote(&lit.to_string()))
+            } else {
+                i += 1;
+                None
+            };
+        match (key.as_str(), value) {
+            ("rename_all", Some(style)) => attrs.rename_all = Some(style),
+            ("tag", Some(tag)) => attrs.tag = Some(tag),
+            ("transparent", None) => attrs.transparent = true,
+            (other, _) => {
+                panic!("serde derive (vendored subset): unsupported serde attribute `{other}`")
+            }
+        }
+        if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility, and type tokens (types are never needed: constructors
+/// let inference recover them).
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Counts fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(&group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(&group.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *pos += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past one type, stopping after the separating comma (if
+/// any). Commas inside angle brackets belong to the type.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+// ---- renaming ----
+
+fn rename_variant(name: &str, style: Option<&str>) -> String {
+    match style {
+        None => name.to_string(),
+        Some("lowercase") => name.to_lowercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde derive (vendored subset): unsupported rename_all `{other}`"),
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.attrs.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => gen_serialize_enum(item, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{\n\
+         \x20       {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let style = item.attrs.rename_all.as_deref();
+    let mut arms = Vec::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = rename_variant(vname, style);
+        let arm = match (&variant.kind, &item.attrs.tag) {
+            (VariantKind::Unit, Some(tag)) => format!(
+                "{name}::{vname} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{tag}\"), \
+                 ::serde::Value::Str(::std::string::String::from(\"{wire}\")))])"
+            ),
+            (VariantKind::Unit, None) => format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{wire}\"))"
+            ),
+            (VariantKind::Tuple(1), Some(tag)) => format!(
+                "{name}::{vname}(v0) => ::serde::internally_tagged(\
+                 \"{tag}\", \"{wire}\", ::serde::Serialize::to_value(v0))"
+            ),
+            (VariantKind::Tuple(1), None) => format!(
+                "{name}::{vname}(v0) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{wire}\"), \
+                 ::serde::Serialize::to_value(v0))])"
+            ),
+            (VariantKind::Tuple(n), None) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{wire}\"), \
+                     ::serde::Value::Array(::std::vec![{}]))])",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            (VariantKind::Struct(fields), tag) => {
+                let binds = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                let obj = format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "));
+                match tag {
+                    Some(tag) => format!(
+                        "{name}::{vname} {{ {binds} }} => \
+                         ::serde::internally_tagged(\"{tag}\", \"{wire}\", {obj})"
+                    ),
+                    None => format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{wire}\"), {obj})])"
+                    ),
+                }
+            }
+            (VariantKind::Tuple(_), Some(_)) => panic!(
+                "serde derive: internally tagged enum `{name}` cannot have multi-field \
+                 tuple variants"
+            ),
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.attrs.transparent {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(entries, \"{f}\", \"{name}\")?"))
+                    .collect();
+                format!(
+                    "let entries = v.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"{name} (object)\", v))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let ::serde::Value::Array(items) = v else {{\n\
+                 \x20   return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"{name} (array)\", v));\n\
+                 }};\n\
+                 if items.len() != {n} {{\n\
+                 \x20   return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => match &item.attrs.tag {
+            Some(tag) => gen_deserialize_tagged_enum(item, variants, tag),
+            None => gen_deserialize_external_enum(item, variants),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         \x20       {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_tagged_enum(item: &Item, variants: &[Variant], tag: &str) -> String {
+    let name = &item.name;
+    let style = item.attrs.rename_all.as_deref();
+    let mut arms = Vec::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = rename_variant(vname, style);
+        let arm = match &variant.kind {
+            VariantKind::Unit => {
+                format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vname})")
+            }
+            VariantKind::Tuple(1) => format!(
+                "\"{wire}\" => ::std::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_value(v)?))"
+            ),
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(entries, \"{f}\", \"{name}\")?"))
+                    .collect();
+                format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            VariantKind::Tuple(_) => panic!(
+                "serde derive: internally tagged enum `{name}` cannot have multi-field \
+                 tuple variants"
+            ),
+        };
+        arms.push(arm);
+    }
+    format!(
+        "let entries = v.as_object().ok_or_else(|| \
+         ::serde::Error::expected(\"{name} (tagged object)\", v))?;\n\
+         let tag_value = ::serde::get_field(entries, \"{tag}\");\n\
+         let tag = tag_value.as_str().ok_or_else(|| \
+         ::serde::Error::expected(\"{name} tag `{tag}`\", tag_value))?;\n\
+         match tag {{\n\
+         \x20   {},\n\
+         \x20   other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+         }}",
+        arms.join(",\n    ")
+    )
+}
+
+fn gen_deserialize_external_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let style = item.attrs.rename_all.as_deref();
+    let mut unit_arms = Vec::new();
+    let mut keyed_arms = Vec::new();
+    for variant in variants {
+        let vname = &variant.name;
+        let wire = rename_variant(vname, style);
+        match &variant.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{vname})"
+                ));
+            }
+            VariantKind::Tuple(1) => keyed_arms.push(format!(
+                "\"{wire}\" => ::std::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_value(payload)?))"
+            )),
+            VariantKind::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                keyed_arms.push(format!(
+                    "\"{wire}\" => {{\n\
+                     \x20   let ::serde::Value::Array(items) = payload else {{\n\
+                     \x20       return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"{name}::{vname} (array)\", payload));\n\
+                     \x20   }};\n\
+                     \x20   if items.len() != {n} {{\n\
+                     \x20       return ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}::{vname}: expected {n} elements, found {{}}\", \
+                     items.len())));\n\
+                     \x20   }}\n\
+                     \x20   ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(entries, \"{f}\", \"{name}\")?"))
+                    .collect();
+                keyed_arms.push(format!(
+                    "\"{wire}\" => {{\n\
+                     \x20   let entries = payload.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"{name}::{vname} (object)\", payload))?;\n\
+                     \x20   ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Str(s) = v {{\n\
+             \x20   return match s.as_str() {{\n\
+             \x20       {},\n\
+             \x20       other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+             \x20   }};\n\
+             }}\n",
+            unit_arms.join(",\n        ")
+        )
+    };
+    let keyed_match = if keyed_arms.is_empty() {
+        format!(
+            "::std::result::Result::Err(::serde::Error::expected(\"{name} (string)\", v))"
+        )
+    } else {
+        format!(
+            "let entries = v.as_object().ok_or_else(|| \
+             ::serde::Error::expected(\"{name} (string or object)\", v))?;\n\
+             if entries.len() != 1 {{\n\
+             \x20   return ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"{name}: expected single-key object, found {{}} keys\", \
+             entries.len())));\n\
+             }}\n\
+             let (key, payload) = &entries[0];\n\
+             match key.as_str() {{\n\
+             \x20   {},\n\
+             \x20   other => ::std::result::Result::Err(::serde::Error::custom(\
+             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+             }}",
+            keyed_arms.join(",\n    ")
+        )
+    };
+    format!("{unit_match}{keyed_match}")
+}

@@ -1,0 +1,103 @@
+//! Offline drop-in subset of [`serde_json`](https://crates.io/crates/serde_json):
+//! `to_string`, `to_string_pretty` and `from_str` over the vendored
+//! [`serde`] subset's [`Value`] tree.
+//!
+//! Floats always serialize in shortest round-trip form (the upstream
+//! `float_roundtrip` feature is the only behaviour here).
+
+pub use serde::json::ParseError;
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serialization or deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the vendored data model; the `Result` only mirrors
+/// the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::write_compact(&value.to_value()))
+}
+
+/// Serializes `value` as pretty JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Infallible for the vendored data model; the `Result` only mirrors
+/// the upstream signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::write_pretty(&value.to_value()))
+}
+
+/// Parses a value of `T` out of a JSON document.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let value = serde::json::parse(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn round_trips_containers() {
+        let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        map.insert("xs".to_string(), vec![1.0, 2.5]);
+        let json = to_string(&map).unwrap();
+        assert_eq!(json, r#"{"xs":[1.0,2.5]}"#);
+        let back: BTreeMap<String, Vec<f64>> = from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let xs = vec![1u32, 2];
+        assert_eq!(to_string_pretty(&xs).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn error_paths_surface() {
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+}
