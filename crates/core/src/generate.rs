@@ -124,7 +124,7 @@ impl KeddahModel {
 }
 
 /// Samples a normal-ish scalar (mean/std), truncated at zero.
-fn sample_scalar(model: &ScalarModel, rng: &mut StdRng) -> f64 {
+pub(crate) fn sample_scalar(model: &ScalarModel, rng: &mut StdRng) -> f64 {
     if model.std <= 0.0 {
         return model.mean;
     }
@@ -135,7 +135,7 @@ fn sample_scalar(model: &ScalarModel, rng: &mut StdRng) -> f64 {
 }
 
 /// Synthesizes flow endpoints for a component's pattern.
-fn endpoints(
+pub(crate) fn endpoints(
     pattern: EndpointPattern,
     workers: u32,
     reducer_nodes: &[u32],

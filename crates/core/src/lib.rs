@@ -12,7 +12,10 @@
 //!    family selection, producing a serializable [`model::KeddahModel`];
 //! 3. **Generate** ([`generate`]) — sample synthetic jobs from the model;
 //! 4. **Replay** ([`replay`]) — drive captured or generated traffic
-//!    through the flow-level network simulator (`keddah-netsim`);
+//!    through the flow-level network simulator (`keddah-netsim`), either
+//!    open loop (pre-computed start times) or closed loop ([`source`]:
+//!    dependent flows released only when their parents complete under the
+//!    simulated network);
 //! 5. **Validate** ([`validate`]) — compare generated traffic to
 //!    held-out captures (two-sample KS, volume and count errors).
 //!
@@ -52,6 +55,7 @@ pub mod model;
 pub mod pipeline;
 pub mod replay;
 pub mod runner;
+pub mod source;
 pub mod validate;
 
 pub use dataset::Dataset;
@@ -61,6 +65,7 @@ pub use mix::{JobMix, MixEntry};
 pub use model::KeddahModel;
 pub use pipeline::Keddah;
 pub use runner::{CellResult, MatrixCell, RunSummary, Runner};
+pub use source::{ModelSource, TraceSource};
 pub use validate::ValidationReport;
 
 use std::fmt;

@@ -9,10 +9,12 @@ use keddah_flowcap::Trace;
 use keddah_hadoop::{
     run_repeats, run_repeats_seeded, ClusterSpec, HadoopConfig, JobSpec, Workload,
 };
+use keddah_netsim::{SimOptions, Topology};
 
 use crate::dataset::Dataset;
 use crate::fitting::fit_model;
 use crate::model::KeddahModel;
+use crate::replay::{replay_model_closed, replay_trace, replay_trace_closed, ReplayReport};
 use crate::validate::{validate_model, ValidationReport};
 use crate::Result;
 
@@ -121,6 +123,46 @@ impl Keddah {
         seed: u64,
     ) -> Result<ValidationReport> {
         validate_model(model, traces, generated_jobs, seed)
+    }
+
+    /// Stage 5 — replay: drives a capture trace through the network
+    /// simulator. `closed_loop` selects the discipline: open loop replays
+    /// captured start times verbatim; closed loop infers dependency edges
+    /// and releases dependent flows when their parents complete under the
+    /// simulated network (see [`crate::source::TraceSource`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`replay_trace`] / [`replay_trace_closed`].
+    pub fn replay(
+        trace: &Trace,
+        topo: &Topology,
+        options: SimOptions,
+        closed_loop: bool,
+    ) -> Result<ReplayReport> {
+        if closed_loop {
+            replay_trace_closed(trace, topo, options)
+        } else {
+            replay_trace(trace, topo, options)
+        }
+    }
+
+    /// Stage 5 variant generating jobs from a model on the fly, closed
+    /// loop (dependent stages sampled when their parents complete; see
+    /// [`crate::source::ModelSource`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`replay_model_closed`].
+    pub fn replay_model(
+        model: &KeddahModel,
+        topo: &Topology,
+        n_jobs: u32,
+        seed: u64,
+        stagger_secs: f64,
+        options: SimOptions,
+    ) -> Result<ReplayReport> {
+        replay_model_closed(model, topo, n_jobs, seed, stagger_secs, options)
     }
 }
 

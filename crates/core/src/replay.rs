@@ -5,14 +5,29 @@
 //! [`keddah_netsim`] flow specs, run the fluid simulation on a chosen
 //! topology, and split the resulting flow completion times back out by
 //! traffic component.
+//!
+//! Two replay disciplines are supported:
+//!
+//! * **open loop** ([`replay`], [`replay_trace`], [`replay_jobs`]) —
+//!   every flow starts at its pre-computed time regardless of what the
+//!   network did to its predecessors;
+//! * **closed loop** ([`replay_source`], [`replay_trace_closed`],
+//!   [`replay_model_closed`]) — dependent flows (shuffle after map input,
+//!   write-pipeline hops after their upstream hop) are released only when
+//!   their parents complete *in the simulation*, so congestion propagates
+//!   through the job's causal structure. See [`crate::source`].
 
 use std::collections::BTreeMap;
 
 use keddah_des::SimTime;
 use keddah_flowcap::{Component, Trace};
-use keddah_netsim::{simulate, FlowSpec, HostId, SimOptions, SimReport, Topology};
+use keddah_netsim::{
+    simulate, simulate_source, FlowSpec, HostId, SimOptions, SimReport, Topology, TrafficSource,
+};
 
 use crate::generate::GeneratedJob;
+use crate::model::KeddahModel;
+use crate::source::{ModelSource, TraceSource};
 use crate::{CoreError, Result};
 
 /// Completion statistics of one replay, split by component.
@@ -39,14 +54,14 @@ impl ReplayReport {
 }
 
 /// Encodes a component into the netsim `tag` field and back.
-fn tag_of(component: Component) -> u32 {
+pub(crate) fn tag_of(component: Component) -> u32 {
     Component::ALL
         .iter()
         .position(|&c| c == component)
         .expect("component in ALL") as u32
 }
 
-fn component_of(tag: u32) -> Component {
+pub(crate) fn component_of(tag: u32) -> Component {
     Component::ALL[tag as usize]
 }
 
@@ -115,10 +130,8 @@ fn check_host(node: u32, topo: &Topology) -> Result<()> {
     Ok(())
 }
 
-/// Replays flow specs on a topology and splits completions by component.
-#[must_use]
-pub fn replay(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> ReplayReport {
-    let sim = simulate(topo, flows, options);
+/// Splits a finished simulation's completions by component.
+fn split_report(sim: SimReport) -> ReplayReport {
     let mut fct_by_component: BTreeMap<Component, Vec<f64>> = BTreeMap::new();
     for r in &sim.results {
         fct_by_component
@@ -130,6 +143,59 @@ pub fn replay(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> Repla
         fct_by_component,
         sim,
     }
+}
+
+/// Replays flow specs on a topology and splits completions by component
+/// (open loop).
+#[must_use]
+pub fn replay(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> ReplayReport {
+    split_report(simulate(topo, flows, options))
+}
+
+/// Replays a reactive traffic source on a topology (closed loop): the
+/// source is asked for its initial flows and called back on every
+/// completion, so it can release dependent flows at simulated — not
+/// captured — times.
+pub fn replay_source(
+    topo: &Topology,
+    source: &mut dyn TrafficSource,
+    options: SimOptions,
+) -> ReplayReport {
+    split_report(simulate_source(topo, source, options))
+}
+
+/// Convenience: closed-loop replay of a capture trace, with dependency
+/// edges inferred by [`TraceSource`].
+///
+/// # Errors
+///
+/// As [`TraceSource::new`].
+pub fn replay_trace_closed(
+    trace: &Trace,
+    topo: &Topology,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let mut source = TraceSource::new(trace, topo)?;
+    Ok(replay_source(topo, &mut source, options))
+}
+
+/// Convenience: closed-loop replay of jobs generated from a model, with
+/// dependent stages sampled on release by [`ModelSource`].
+///
+/// # Errors
+///
+/// As [`ModelSource::new`].
+#[allow(clippy::too_many_arguments)]
+pub fn replay_model_closed(
+    model: &KeddahModel,
+    topo: &Topology,
+    n_jobs: u32,
+    seed: u64,
+    stagger_secs: f64,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let mut source = ModelSource::new(model, n_jobs, seed, stagger_secs, topo)?;
+    Ok(replay_source(topo, &mut source, options))
 }
 
 /// Convenience: replay a capture trace end to end.

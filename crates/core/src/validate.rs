@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::generate::GeneratedJob;
 use crate::model::KeddahModel;
+use crate::replay::ReplayReport;
 use crate::{CoreError, Result};
 
 /// The comparison for one traffic component.
@@ -145,6 +146,60 @@ pub fn validate_model(
         });
     }
     Ok(ValidationReport { components })
+}
+
+/// The FCT comparison for one component across two replays of the same
+/// traffic (e.g. open- vs closed-loop, or two fabrics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayComparison {
+    /// The component compared.
+    pub component: Component,
+    /// Two-sample KS distance between the replays' FCT samples.
+    pub ks_statistic: f64,
+    /// Asymptotic p-value of that KS test.
+    pub ks_p_value: f64,
+    /// Mean FCT in the first replay, seconds.
+    pub mean_fct_a: f64,
+    /// Mean FCT in the second replay, seconds.
+    pub mean_fct_b: f64,
+}
+
+/// Compares two replay reports per component: two-sample KS on the FCT
+/// samples plus mean FCTs. The replay-level counterpart of
+/// [`validate_model`], used to quantify how much the replay discipline
+/// (open vs closed loop) or the fabric changes completion times.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InsufficientData`] if no component has flows in
+/// both replays, or [`CoreError::Stat`] if the KS test fails.
+pub fn compare_replays(a: &ReplayReport, b: &ReplayReport) -> Result<Vec<ReplayComparison>> {
+    let mut rows = Vec::new();
+    for &component in Component::ALL {
+        let (Some(fa), Some(fb)) = (
+            a.fct_by_component.get(&component),
+            b.fct_by_component.get(&component),
+        ) else {
+            continue;
+        };
+        if fa.is_empty() || fb.is_empty() {
+            continue;
+        }
+        let ks = ks_two_sample(fa, fb).map_err(CoreError::Stat)?;
+        rows.push(ReplayComparison {
+            component,
+            ks_statistic: ks.statistic,
+            ks_p_value: ks.p_value,
+            mean_fct_a: fa.iter().sum::<f64>() / fa.len() as f64,
+            mean_fct_b: fb.iter().sum::<f64>() / fb.len() as f64,
+        });
+    }
+    if rows.is_empty() {
+        return Err(CoreError::InsufficientData {
+            what: "no component has flows in both replays",
+        });
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use crate::time::SimTime;
 /// A one-shot "ping-pong" that reschedules itself twice:
 ///
 /// ```
-/// use keddah_des::{Engine, SimTime};
+/// use keddah_des::{Duration, Engine, SimTime};
 ///
 /// let mut engine: Engine<&str> = Engine::new();
 /// engine.schedule(SimTime::from_secs(1), "ping");
@@ -22,7 +22,7 @@ use crate::time::SimTime;
 /// engine.run(|now, ev, queue| {
 ///     log.push((now, ev));
 ///     if ev == "ping" && now < SimTime::from_secs(3) {
-///         queue.push(now + (SimTime::from_secs(1) - SimTime::ZERO), "ping");
+///         queue.push(now + Duration::from_secs(1), "ping");
 ///     }
 /// });
 /// assert_eq!(log.len(), 3);

@@ -243,6 +243,20 @@ impl Mul<u64> for Duration {
     }
 }
 
+impl Mul<u32> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u32) -> Duration {
+        Duration(self.0 * u64::from(rhs))
+    }
+}
+
+impl Mul<Duration> for u32 {
+    type Output = Duration;
+    fn mul(self, rhs: Duration) -> Duration {
+        rhs * self
+    }
+}
+
 impl Div<u64> for Duration {
     type Output = Duration;
     fn div(self, rhs: u64) -> Duration {
@@ -330,6 +344,13 @@ mod tests {
     fn display_is_nonempty() {
         assert!(!format!("{}", SimTime::ZERO).is_empty());
         assert!(!format!("{:?}", Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn duration_scalar_multiplication() {
+        assert_eq!(Duration::from_millis(250) * 4u32, Duration::from_secs(1));
+        assert_eq!(3u32 * Duration::from_secs(2), Duration::from_secs(6));
+        assert_eq!(Duration::from_secs(1) * 2u64, Duration::from_secs(2));
     }
 
     #[test]

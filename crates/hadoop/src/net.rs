@@ -15,10 +15,9 @@
 //!    assembler only needs timestamps, directions and byte counts, so
 //!    MTU-level framing is not modelled.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
-use keddah_des::{Duration, SimTime};
+use keddah_des::{Duration, EventQueue, SimTime};
 use keddah_flowcap::{NodeId, PacketRecord};
 
 use crate::ports_alloc::PortAllocator;
@@ -49,7 +48,9 @@ pub enum Payload {
 pub struct NetModel {
     nic_bps: f64,
     active: HashMap<NodeId, u32>,
-    releases: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// Pending contention releases, on the shared DES queue: each entry
+    /// fires when a transfer's endpoints stop counting as active.
+    releases: EventQueue<(NodeId, NodeId)>,
     packets: Vec<PacketRecord>,
     ports: PortAllocator,
 }
@@ -66,7 +67,7 @@ impl NetModel {
         NetModel {
             nic_bps,
             active: HashMap::new(),
-            releases: BinaryHeap::new(),
+            releases: EventQueue::new(),
             packets: Vec::new(),
             ports: PortAllocator::new(),
         }
@@ -75,12 +76,9 @@ impl NetModel {
     /// Retires transfers that finished at or before `now` from the
     /// contention counters.
     fn expire(&mut self, now: SimTime) {
-        while let Some(&Reverse((finish, a, b))) = self.releases.peek() {
-            if finish > now.as_nanos() {
-                break;
-            }
-            self.releases.pop();
-            for node in [NodeId(a), NodeId(b)] {
+        while self.releases.peek_time().is_some_and(|t| t <= now) {
+            let (a, b) = self.releases.pop().expect("peeked release").event;
+            for node in [a, b] {
                 if let Some(c) = self.active.get_mut(&node) {
                     *c = c.saturating_sub(1);
                     if *c == 0 {
@@ -115,8 +113,7 @@ impl NetModel {
 
         *self.active.entry(client).or_insert(0) += 1;
         *self.active.entry(server).or_insert(0) += 1;
-        self.releases
-            .push(Reverse((finish.as_nanos(), client.0, server.0)));
+        self.releases.push(finish, (client, server));
 
         let client_port = self.ports.next(client);
         self.emit_packets(

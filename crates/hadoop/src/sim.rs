@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use keddah_des::{Duration, EventQueue, SimTime};
+use keddah_des::{Duration, Engine, EventQueue, SimTime};
 use keddah_flowcap::{ports, NodeId};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -113,12 +113,32 @@ struct ReduceState {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    MapDone { map: usize, attempt: u32 },
-    MapComputeDone { map: usize, attempt: u32 },
-    MapFailed { map: usize, attempt: u32 },
-    FetchDone { reduce: usize, bytes: u64 },
-    ReduceComputeDone { reduce: usize },
-    ReduceDone { reduce: usize },
+    /// Fires once at round start to run the initial scheduling pass; all
+    /// later events descend from it, so the whole round lives on the
+    /// engine's clock.
+    Kick,
+    MapDone {
+        map: usize,
+        attempt: u32,
+    },
+    MapComputeDone {
+        map: usize,
+        attempt: u32,
+    },
+    MapFailed {
+        map: usize,
+        attempt: u32,
+    },
+    FetchDone {
+        reduce: usize,
+        bytes: u64,
+    },
+    ReduceComputeDone {
+        reduce: usize,
+    },
+    ReduceDone {
+        reduce: usize,
+    },
 }
 
 /// One MapReduce round (a single map/shuffle/reduce pass).
@@ -227,32 +247,24 @@ impl<'a> RoundSim<'a> {
         (self.config.task_noise_sigma * scale * z).exp()
     }
 
-    /// Runs the round to completion, starting task scheduling at `start`.
+    /// Runs the round to completion on a [`keddah_des::Engine`], starting
+    /// task scheduling at `start` (via a [`Event::Kick`] event — the same
+    /// engine-driven loop the replay simulator uses).
     pub(crate) fn run(mut self, start: SimTime) -> RoundResult {
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut now = start;
-        self.schedule_tasks(now, &mut queue);
-        let mut end = now;
-        while let Some(ev) = queue.pop() {
-            now = ev.at;
-            end = end.max(now);
-            match ev.event {
-                Event::MapDone { map, attempt } => self.on_map_done(map, attempt, now, &mut queue),
-                Event::MapComputeDone { map, attempt } => {
-                    self.on_map_compute_done(map, attempt, now, &mut queue)
-                }
-                Event::MapFailed { map, attempt } => {
-                    self.on_map_failed(map, attempt, now, &mut queue)
-                }
-                Event::FetchDone { reduce, bytes } => {
-                    self.on_fetch_done(reduce, bytes, now, &mut queue)
-                }
-                Event::ReduceComputeDone { reduce } => {
-                    self.on_reduce_compute_done(reduce, now, &mut queue)
-                }
-                Event::ReduceDone { reduce } => self.on_reduce_done(reduce, now, &mut queue),
+        let mut engine: Engine<Event> = Engine::new();
+        engine.schedule(start, Event::Kick);
+        engine.run(|now, ev, queue| match ev {
+            Event::Kick => self.schedule_tasks(now, queue),
+            Event::MapDone { map, attempt } => self.on_map_done(map, attempt, now, queue),
+            Event::MapComputeDone { map, attempt } => {
+                self.on_map_compute_done(map, attempt, now, queue)
             }
-        }
+            Event::MapFailed { map, attempt } => self.on_map_failed(map, attempt, now, queue),
+            Event::FetchDone { reduce, bytes } => self.on_fetch_done(reduce, bytes, now, queue),
+            Event::ReduceComputeDone { reduce } => self.on_reduce_compute_done(reduce, now, queue),
+            Event::ReduceDone { reduce } => self.on_reduce_done(reduce, now, queue),
+        });
+        let end = engine.now().max(start);
         assert_eq!(
             self.completed_maps,
             self.maps.len(),

@@ -10,8 +10,12 @@
 //!   fat-tree fabrics, with ECMP shortest-path routing;
 //! * [`fair`] — max-min fair bandwidth sharing by progressive filling,
 //!   the standard fluid abstraction of long-lived TCP;
-//! * [`simulate`] — the event loop: flows arrive, share links, complete;
-//!   completions and per-link byte counts come back in a [`SimReport`].
+//! * [`simulate`] / [`simulate_source`] — the event loop (built on the
+//!   shared [`keddah_des::Engine`]): flows arrive, share links, complete;
+//!   completions and per-link byte counts come back in a [`SimReport`];
+//! * [`TrafficSource`] — reactive traffic: sources are told when each
+//!   flow completes and may inject dependent flows, enabling closed-loop
+//!   replay where congestion delays dependent traffic.
 //!
 //! # Examples
 //!
@@ -36,10 +40,12 @@
 pub mod fair;
 mod routing;
 mod sim;
+pub mod source;
 mod tcp;
 mod topology;
 
 pub use routing::RouteCache;
-pub use sim::{simulate, FlowResult, FlowSpec, SimOptions, SimReport};
+pub use sim::{simulate, simulate_source, FlowResult, FlowSpec, SimOptions, SimReport};
+pub use source::{FlowId, StaticSource, TrafficSource};
 pub use tcp::{simulate_tcp, TcpOptions};
 pub use topology::{HostId, LinkId, Topology};

@@ -1,10 +1,20 @@
-//! Fluid flow-level simulation loop.
+//! Fluid flow-level simulation loop, driven by the shared
+//! [`keddah_des::Engine`].
+//!
+//! Flow arrivals, rate re-solves and flow completions are engine events;
+//! a [`TrafficSource`] decides which flows exist and may inject dependent
+//! flows reactively on every completion (closed-loop replay). Event
+//! timestamps quantize to nanoseconds for ordering, but every event
+//! carries its precise `f64` time, so the fluid arithmetic — and hence
+//! every [`FlowResult`] — is bit-identical to the pre-engine loop for
+//! static (open-loop) traffic.
 
-use keddah_des::{Duration, SimTime};
+use keddah_des::{Duration, Engine, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::fair::max_min_rates;
 use crate::routing::RouteCache;
+use crate::source::{FlowId, StaticSource, TrafficSource};
 use crate::topology::{HostId, Topology};
 
 /// A flow to inject: who talks to whom, how much, starting when.
@@ -141,11 +151,35 @@ struct ActiveFlow {
     links: Vec<u32>,
 }
 
+/// Engine events of the fluid loop. Nanosecond timestamps order events;
+/// the precise `f64` times ride in the payloads so drain arithmetic never
+/// quantizes.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Flow `id` (arena index) enters the network at its spec's start.
+    Arrive { id: usize },
+    /// Predicted earliest completion among the active flows, computed at
+    /// the previous event. `gen` invalidates predictions made before the
+    /// last rate re-solve; `at` is the precise predicted time.
+    Complete { gen: u64, at: f64 },
+    /// Flow `id`'s last byte has arrived: tell the source, which may
+    /// inject dependent flows. Never touches fluid state.
+    Notify { id: usize },
+}
+
+/// Sub-byte residues count as drained: they are numerical dust, and
+/// waiting for them can stall the clock entirely once `now + residue/rate`
+/// rounds back to `now`.
+const RETIRE_EPS_BITS: f64 = 8.0;
+
 /// Runs the fluid simulation of `flows` over `topo`.
 ///
 /// Flows are processed in start order; active flows share links by
 /// max-min fairness, recomputed at every arrival and departure. The
 /// result vector preserves input order.
+///
+/// This is the open-loop entry point: it wraps `flows` in a
+/// [`StaticSource`] and runs [`simulate_source`].
 ///
 /// # Panics
 ///
@@ -171,32 +205,92 @@ struct ActiveFlow {
 /// ```
 #[must_use]
 pub fn simulate(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> SimReport {
+    let mut source = StaticSource::new(flows.to_vec());
+    simulate_source(topo, &mut source, options)
+}
+
+/// Runs the fluid simulation with a reactive [`TrafficSource`].
+///
+/// The source's initial flows are injected at their start times; on every
+/// completion the source may return dependent flows, which are injected
+/// in turn (starts in the simulated past are clamped to "now"). Results
+/// are indexed by injection order ([`FlowId`]).
+///
+/// # Panics
+///
+/// Panics if a flow references a host outside the topology, or if the
+/// fluid solver fails to make progress.
+#[must_use]
+pub fn simulate_source(
+    topo: &Topology,
+    source: &mut dyn TrafficSource,
+    options: SimOptions,
+) -> SimReport {
     let capacities: Vec<f64> = topo.links().iter().map(|l| l.capacity_bps).collect();
-    let mut results: Vec<Option<FlowResult>> = vec![None; flows.len()];
     let mut link_bytes = vec![0u64; capacities.len()];
 
-    // Order of processing: by start time, stable.
+    // The flow arena: grows as the source injects. Results share its
+    // indexing (= FlowId = injection order).
+    let mut flows: Vec<FlowSpec> = source.on_start();
+    let mut results: Vec<Option<FlowResult>> = vec![None; flows.len()];
+
+    let mut engine: Engine<Ev> = Engine::new();
+    // Initial arrivals are scheduled in start order (stable), so
+    // same-nanosecond arrivals pop in the order the pre-engine loop
+    // processed them.
     let mut order: Vec<usize> = (0..flows.len()).collect();
     order.sort_by_key(|&i| flows[i].start);
+    for &i in &order {
+        engine.schedule(flows[i].start, Ev::Arrive { id: i });
+    }
 
     let mut router = RouteCache::new(topo);
     let mut active: Vec<ActiveFlow> = Vec::new();
     let mut rates: Vec<f64> = Vec::new();
     let mut now = 0.0f64;
-    let mut next = 0usize;
     let mut peak_active = 0usize;
+    // Completion predictions older than the last arrival/retirement are
+    // stale; the generation counter skips them.
+    let mut gen: u64 = 0;
+    let mut iterations: u64 = 0;
 
     let recompute = |active: &[ActiveFlow]| -> Vec<f64> {
         let flow_links: Vec<Vec<u32>> = active.iter().map(|f| f.links.clone()).collect();
         max_min_rates(&flow_links, &capacities, options.local_bps)
     };
 
-    let mut iterations: u64 = 0;
-    loop {
+    engine.run(|t, ev, queue| {
+        // The event's precise time: arrivals carry exact nanoseconds,
+        // completions their predicted f64.
+        let tf = match ev {
+            Ev::Arrive { id } => flows[id].start.as_secs_f64(),
+            Ev::Complete { gen: g, at } => {
+                if g != gen {
+                    return; // stale prediction: rates changed since
+                }
+                at
+            }
+            Ev::Notify { id } => {
+                // Completion callback: the source may release dependents.
+                let result = results[id].expect("notified flow has a result");
+                for mut spec in source.on_flow_complete(FlowId(id), &result) {
+                    // A dependent flow cannot start before its trigger.
+                    if spec.start < t {
+                        spec.start = t;
+                    }
+                    let id = flows.len();
+                    flows.push(spec);
+                    results.push(None);
+                    queue.push(spec.start, Ev::Arrive { id });
+                }
+                return; // fluid state untouched
+            }
+        };
+
         iterations += 1;
         if iterations > 20 * flows.len() as u64 + 10_000 {
             panic!(
-                "fluid simulation failed to converge: {} active flows at t={now}, next={next}/{}, \
+                "fluid simulation failed to converge: {} active flows at t={now}, {} total, \
                  remaining={:?}, rates={:?}",
                 active.len(),
                 flows.len(),
@@ -208,108 +302,105 @@ pub fn simulate(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> Sim
                 rates.iter().take(5).collect::<Vec<_>>()
             );
         }
-        // Time of the next arrival, if any.
-        let next_arrival = order.get(next).map(|&i| flows[i].start.as_secs_f64());
-        // Time of the earliest completion among active flows.
+
+        // Drain transferred bits up to the event's precise time.
+        let dt = (tf - now).max(0.0);
+        for (f, &r) in active.iter_mut().zip(&rates) {
+            f.remaining_bits = (f.remaining_bits - r * dt).max(0.0);
+        }
+        now = tf;
+
+        match ev {
+            Ev::Arrive { id } => {
+                let spec = flows[id];
+                let links: Vec<u32> = router
+                    .route(spec.src, spec.dst, id as u64)
+                    .into_iter()
+                    .map(|l| l.0)
+                    .collect();
+                for &l in &links {
+                    link_bytes[l as usize] += spec.bytes;
+                }
+                let prop = options.propagation.as_secs_f64();
+                if spec.bytes < options.mouse_threshold {
+                    // Mice fast-path: uncontended line-rate completion.
+                    let bottleneck = links
+                        .iter()
+                        .map(|&l| capacities[l as usize])
+                        .fold(options.local_bps, f64::min);
+                    let fct = prop
+                        + slow_start_delay(spec.bytes, &options)
+                        + spec.bytes as f64 * 8.0 / bottleneck;
+                    let finish = SimTime::from_secs_f64(now + fct);
+                    results[id] = Some(FlowResult { spec, finish });
+                    queue.push(finish.max(t), Ev::Notify { id });
+                } else {
+                    active.push(ActiveFlow {
+                        idx: id,
+                        // Propagation charged up front as extra "bits" at
+                        // the eventual rate would distort sharing; instead
+                        // it is added to the finish time on completion.
+                        remaining_bits: (spec.bytes as f64 * 8.0).max(1.0),
+                        links,
+                    });
+                    peak_active = peak_active.max(active.len());
+                    rates = recompute(&active);
+                }
+            }
+            Ev::Complete { .. } => {
+                // Retire every flow that just drained (ties complete
+                // together).
+                let mut finished = Vec::new();
+                active.retain(|f| {
+                    if f.remaining_bits <= RETIRE_EPS_BITS {
+                        finished.push(f.idx);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if finished.is_empty() && !active.is_empty() {
+                    // Guaranteed progress: float rounding left the minimum
+                    // flow just above the epsilon; retire it outright.
+                    let (pos, _) = active
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| a.remaining_bits.total_cmp(&b.remaining_bits))
+                        .expect("active is non-empty");
+                    finished.push(active.remove(pos).idx);
+                }
+                for id in finished {
+                    let spec = flows[id];
+                    let extra =
+                        options.propagation.as_secs_f64() + slow_start_delay(spec.bytes, &options);
+                    let finish = SimTime::from_secs_f64(now + extra);
+                    results[id] = Some(FlowResult { spec, finish });
+                    queue.push(finish.max(t), Ev::Notify { id });
+                }
+                rates = recompute(&active);
+            }
+            Ev::Notify { .. } => unreachable!("handled above"),
+        }
+
+        // Re-predict the earliest completion with the post-event rates and
+        // remainders — the exact expression the pre-engine loop evaluated
+        // each iteration, so the drain arithmetic stays bit-identical.
+        gen += 1;
         let next_completion = active
             .iter()
             .zip(&rates)
             .map(|(f, &r)| now + f.remaining_bits / r.max(1e-9))
             .fold(f64::INFINITY, f64::min);
-
-        let (advance_to, is_arrival) = match next_arrival {
-            Some(a) if a <= next_completion => (a, true),
-            _ if next_completion.is_finite() => (next_completion, false),
-            Some(a) => (a, true),
-            None => break, // no arrivals, no active flows
-        };
-
-        // Drain transferred bits.
-        let dt = (advance_to - now).max(0.0);
-        for (f, &r) in active.iter_mut().zip(&rates) {
-            f.remaining_bits = (f.remaining_bits - r * dt).max(0.0);
+        if next_completion.is_finite() {
+            queue.push(
+                SimTime::from_secs_f64(next_completion).max(t),
+                Ev::Complete {
+                    gen,
+                    at: next_completion,
+                },
+            );
         }
-        now = advance_to;
-
-        if is_arrival {
-            let idx = order[next];
-            next += 1;
-            let spec = flows[idx];
-            let links: Vec<u32> = router
-                .route(spec.src, spec.dst, idx as u64)
-                .into_iter()
-                .map(|l| l.0)
-                .collect();
-            for &l in &links {
-                link_bytes[l as usize] += spec.bytes;
-            }
-            let prop = options.propagation.as_secs_f64();
-            if spec.bytes < options.mouse_threshold {
-                // Mice fast-path: uncontended line-rate completion.
-                let bottleneck = links
-                    .iter()
-                    .map(|&l| capacities[l as usize])
-                    .fold(options.local_bps, f64::min);
-                let fct = prop
-                    + slow_start_delay(spec.bytes, &options)
-                    + spec.bytes as f64 * 8.0 / bottleneck;
-                results[idx] = Some(FlowResult {
-                    spec,
-                    finish: SimTime::from_secs_f64(now + fct),
-                });
-            } else {
-                active.push(ActiveFlow {
-                    idx,
-                    // Propagation charged up front as extra "bits" at the
-                    // eventual rate would distort sharing; instead it is
-                    // added to the finish time on completion.
-                    remaining_bits: (spec.bytes as f64 * 8.0).max(1.0),
-                    links,
-                });
-                peak_active = peak_active.max(active.len());
-                rates = recompute(&active);
-            }
-        } else {
-            // Retire every flow that just drained (ties complete
-            // together). Sub-byte residues count as drained: they are
-            // numerical dust, and waiting for them can stall the clock
-            // entirely once `now + residue/rate` rounds back to `now`.
-            const RETIRE_EPS_BITS: f64 = 8.0;
-            let mut finished = Vec::new();
-            active.retain(|f| {
-                if f.remaining_bits <= RETIRE_EPS_BITS {
-                    finished.push(f.idx);
-                    false
-                } else {
-                    true
-                }
-            });
-            if finished.is_empty() && !active.is_empty() {
-                // Guaranteed progress: float rounding left the minimum
-                // flow just above the epsilon; retire it outright.
-                let (pos, _) = active
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        a.remaining_bits
-                            .partial_cmp(&b.remaining_bits)
-                            .expect("finite remainders")
-                    })
-                    .expect("active is non-empty");
-                finished.push(active.remove(pos).idx);
-            }
-            for idx in finished {
-                let spec = flows[idx];
-                let extra =
-                    options.propagation.as_secs_f64() + slow_start_delay(spec.bytes, &options);
-                results[idx] = Some(FlowResult {
-                    spec,
-                    finish: SimTime::from_secs_f64(now + extra),
-                });
-            }
-            rates = recompute(&active);
-        }
-    }
+    });
 
     SimReport {
         results: results
@@ -496,6 +587,84 @@ mod tests {
             "{short_penalty} vs {long_penalty}"
         );
         assert!(long_penalty >= 0.0);
+    }
+
+    /// A source that releases one dependent flow when its parent (flow 0)
+    /// completes.
+    struct ChainSource {
+        first: Option<FlowSpec>,
+        child: Option<FlowSpec>,
+        releases: Vec<(usize, SimTime)>,
+    }
+
+    impl TrafficSource for ChainSource {
+        fn on_start(&mut self) -> Vec<FlowSpec> {
+            self.first.take().into_iter().collect()
+        }
+        fn on_flow_complete(&mut self, id: FlowId, result: &FlowResult) -> Vec<FlowSpec> {
+            self.releases.push((id.0, result.finish));
+            if id.0 == 0 {
+                self.child.take().into_iter().collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn source_injects_dependent_flow_after_parent() {
+        let topo = Topology::star(3, 1e9);
+        let mut source = ChainSource {
+            first: Some(flow(0, 2, 125_000_000, 0)),
+            child: Some(flow(1, 2, 125_000_000, 0)),
+            releases: Vec::new(),
+        };
+        let report = simulate_source(&topo, &mut source, SimOptions::default());
+        assert_eq!(report.results.len(), 2);
+        // Parent runs alone (~1 s), child starts only after it finishes.
+        let parent = report.results[0];
+        let child = report.results[1];
+        assert!((parent.fct().as_secs_f64() - 1.0).abs() < 0.01);
+        assert!(child.spec.start >= parent.finish, "child waits for parent");
+        assert!((child.fct().as_secs_f64() - 1.0).abs() < 0.01);
+        // The source heard about both completions, parent first.
+        assert_eq!(source.releases.len(), 2);
+        assert_eq!(source.releases[0].0, 0);
+    }
+
+    #[test]
+    fn static_source_matches_simulate() {
+        let topo = Topology::star(6, 1e9);
+        let flows: Vec<FlowSpec> = (0..20)
+            .map(|i| {
+                flow(
+                    i % 5,
+                    (i + 1) % 5,
+                    1_000_000 + u64::from(i) * 77_777,
+                    u64::from(i) * 13,
+                )
+            })
+            .collect();
+        let direct = simulate(&topo, &flows, SimOptions::default());
+        let mut source = StaticSource::new(flows.clone());
+        let via_source = simulate_source(&topo, &mut source, SimOptions::default());
+        assert_eq!(direct.results, via_source.results);
+        assert_eq!(direct.link_bytes, via_source.link_bytes);
+        assert_eq!(direct.peak_active, via_source.peak_active);
+    }
+
+    #[test]
+    fn past_start_times_clamp_to_release() {
+        // A child spec claiming to start at t=0 is injected when its
+        // parent completes (~1 s): the start clamps forward, never back.
+        let topo = Topology::star(3, 1e9);
+        let mut source = ChainSource {
+            first: Some(flow(0, 1, 125_000_000, 500)),
+            child: Some(flow(1, 2, 1_000, 0)),
+            releases: Vec::new(),
+        };
+        let report = simulate_source(&topo, &mut source, SimOptions::default());
+        assert_eq!(report.results[1].spec.start, report.results[0].finish);
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl Empirical {
             });
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let k = knots.min(sorted.len().max(2));
         let table: Vec<f64> = (0..k)
             .map(|i| {

@@ -331,6 +331,9 @@ pub fn fit_all(samples: &[f64], candidates: &[Candidate]) -> Result<Vec<FitRepor
         let Ok(KsResult { statistic, p_value }) = ks_one_sample(samples, |x| dist.cdf(x)) else {
             continue;
         };
+        if !statistic.is_finite() {
+            continue;
+        }
         let log_likelihood = dist.log_likelihood(samples);
         if !log_likelihood.is_finite() {
             continue;
@@ -347,11 +350,10 @@ pub fn fit_all(samples: &[f64], candidates: &[Candidate]) -> Result<Vec<FitRepor
     if reports.is_empty() {
         return Err(StatError::NoConvergence("no candidate family fit"));
     }
-    reports.sort_by(|a, b| {
-        a.ks_statistic
-            .partial_cmp(&b.ks_statistic)
-            .expect("finite KS statistics")
-    });
+    // total_cmp, not partial_cmp().expect(): a pathological fit must rank
+    // last, never panic the sweep (non-finite statistics are filtered
+    // above, but the ordering itself should be total regardless).
+    reports.sort_by(|a, b| a.ks_statistic.total_cmp(&b.ks_statistic));
     Ok(reports)
 }
 
@@ -377,7 +379,7 @@ pub fn fit_select(
     let mut reports = fit_all(samples, candidates)?;
     match selection {
         Selection::KsStatistic => {} // already sorted
-        Selection::Aic => reports.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("finite AIC")),
+        Selection::Aic => reports.sort_by(|a, b| a.aic.total_cmp(&b.aic)),
         Selection::AndersonDarling => {
             let mut scored: Vec<(f64, FitReport)> = reports
                 .into_iter()
@@ -388,7 +390,7 @@ pub fn fit_select(
                     (a2, r)
                 })
                 .collect();
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("AD comparable"));
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
             return Ok(scored.remove(0).1);
         }
     }
@@ -458,6 +460,24 @@ mod tests {
             fit_all(&[], Candidate::ALL),
             Err(StatError::EmptySample)
         ));
+    }
+
+    #[test]
+    fn degenerate_constant_sample_never_panics() {
+        // A constant sample defeats most parametric families; whatever
+        // survives the sweep must come back as a finite-scored report or a
+        // typed error — never a panic from comparing non-finite scores.
+        let xs = vec![128.0; 64];
+        match fit_all(&xs, Candidate::ALL) {
+            Ok(reports) => {
+                assert!(!reports.is_empty());
+                assert!(reports.iter().all(|r| r.ks_statistic.is_finite()));
+            }
+            Err(e) => assert!(matches!(
+                e,
+                StatError::NoConvergence(_) | StatError::DegenerateSample(_)
+            )),
+        }
     }
 
     #[test]

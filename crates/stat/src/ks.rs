@@ -49,7 +49,7 @@ pub fn ks_one_sample<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<KsRes
             });
         }
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     // Group tied sample values so reference distributions with point
@@ -109,8 +109,8 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsResult> {
     }
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
     let (na, nb) = (sa.len(), sb.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
@@ -216,6 +216,15 @@ mod tests {
         let r1 = ks_two_sample(&a, &b).unwrap();
         let r2 = ks_two_sample(&b, &a).unwrap();
         assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_error_not_panic() {
+        assert!(matches!(
+            ks_one_sample(&[1.0, f64::NAN], |x| x),
+            Err(StatError::InvalidParameter { .. })
+        ));
+        assert!(ks_two_sample(&[1.0], &[f64::INFINITY]).is_err());
     }
 
     #[test]

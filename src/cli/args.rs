@@ -97,7 +97,6 @@ impl Args {
     }
 
     /// A boolean flag (present means true).
-    #[allow(dead_code)] // part of the parser's complete surface
     #[must_use]
     pub fn get_bool(&self, key: &str) -> bool {
         self.get(key).is_some()

@@ -2,7 +2,7 @@
 
 use std::fs;
 
-use keddah_core::replay::{replay_jobs, replay_trace};
+use keddah_core::replay::{replay_jobs, replay_model_closed, replay_trace, replay_trace_closed};
 use keddah_core::KeddahModel;
 use keddah_flowcap::Trace;
 use keddah_netsim::SimOptions;
@@ -26,7 +26,10 @@ FLAGS:
     --jobs <N>          jobs to generate (model mode)   [default: 1]
     --seed <N>          generation seed                 [default: 1]
     --stagger-secs <S>  offset between jobs             [default: 10]
-    --mouse-bytes <N>   mice fast-path threshold        [default: 10000]";
+    --mouse-bytes <N>   mice fast-path threshold        [default: 10000]
+    --closed-loop       release dependent flows when their parents
+                        complete in the simulation, instead of at
+                        pre-computed start times";
 
 const FLAGS: &[&str] = &[
     "model",
@@ -36,6 +39,7 @@ const FLAGS: &[&str] = &[
     "seed",
     "stagger-secs",
     "mouse-bytes",
+    "closed-loop",
 ];
 
 /// Runs the subcommand.
@@ -56,6 +60,8 @@ pub fn run(args: &Args) -> Result<()> {
         ..SimOptions::default()
     };
 
+    let closed_loop = args.get_bool("closed-loop");
+
     let report = match (args.get("model"), args.get("trace")) {
         (Some(_), Some(_)) => {
             return Err(err("give either --model or --trace, not both"));
@@ -64,19 +70,27 @@ pub fn run(args: &Args) -> Result<()> {
             let json = fs::read_to_string(model_path)
                 .map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
             let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
-            let jobs = model.generate_jobs(
-                args.get_num("jobs", 1u32)?.max(1),
-                args.get_num("seed", 1u64)?,
-                args.get_num("stagger-secs", 10.0f64)?,
-            );
-            replay_jobs(&jobs, &topo, options).map_err(|e| err(e.to_string()))?
+            let jobs = args.get_num("jobs", 1u32)?.max(1);
+            let seed = args.get_num("seed", 1u64)?;
+            let stagger = args.get_num("stagger-secs", 10.0f64)?;
+            if closed_loop {
+                replay_model_closed(&model, &topo, jobs, seed, stagger, options)
+                    .map_err(|e| err(e.to_string()))?
+            } else {
+                let jobs = model.generate_jobs(jobs, seed, stagger);
+                replay_jobs(&jobs, &topo, options).map_err(|e| err(e.to_string()))?
+            }
         }
         (None, Some(trace_path)) => {
             let file = fs::File::open(trace_path)
                 .map_err(|e| err(format!("cannot open {trace_path}: {e}")))?;
             let trace = Trace::read_jsonl(std::io::BufReader::new(file))
                 .map_err(|e| err(format!("cannot parse {trace_path}: {e}")))?;
-            replay_trace(&trace, &topo, options).map_err(|e| err(e.to_string()))?
+            if closed_loop {
+                replay_trace_closed(&trace, &topo, options).map_err(|e| err(e.to_string()))?
+            } else {
+                replay_trace(&trace, &topo, options).map_err(|e| err(e.to_string()))?
+            }
         }
         (None, None) => {
             return Err(err("need --model or --trace; run `keddah replay --help`"));
@@ -84,9 +98,10 @@ pub fn run(args: &Args) -> Result<()> {
     };
 
     println!(
-        "replayed {} flows on {} (makespan {:.1} s, peak link {:.1}%)",
+        "replayed {} flows on {} ({} loop, makespan {:.1} s, peak link {:.1}%)",
         report.sim.results.len(),
         topo.name(),
+        if closed_loop { "closed" } else { "open" },
         report.makespan_secs(),
         report.sim.peak_link_utilisation(&topo) * 100.0
     );

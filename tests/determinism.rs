@@ -56,6 +56,90 @@ fn full_pipeline_is_deterministic() {
 }
 
 #[test]
+fn closed_loop_replay_is_deterministic() {
+    use keddah::core::replay::{replay_model_closed, replay_trace_closed};
+
+    let cluster = ClusterSpec::racks(2, 3);
+    let config = HadoopConfig::default().with_reducers(3);
+    let job = JobSpec::new(Workload::TeraSort, 512 << 20);
+    let traces = Keddah::capture(&cluster, &config, &job, 2, 17);
+    let topo = Topology::leaf_spine(3, 3, 2, 1e9, 4.0);
+    let opts = SimOptions {
+        mouse_threshold: 10_000,
+        ..SimOptions::default()
+    };
+
+    // Trace replay: same capture, byte-identical finishes.
+    let nanos = |r: &keddah::core::replay::ReplayReport| -> Vec<u64> {
+        r.sim.results.iter().map(|f| f.finish.as_nanos()).collect()
+    };
+    let a = replay_trace_closed(&traces[0], &topo, opts).expect("replays");
+    let b = replay_trace_closed(&traces[0], &topo, opts).expect("replays");
+    assert_eq!(nanos(&a), nanos(&b), "closed-loop trace replay identical");
+
+    // Model replay: same seed, byte-identical; different seed, different.
+    let model = Keddah::fit(&traces).expect("fits");
+    let m1 = replay_model_closed(&model, &topo, 2, 11, 5.0, opts).expect("replays");
+    let m2 = replay_model_closed(&model, &topo, 2, 11, 5.0, opts).expect("replays");
+    assert_eq!(nanos(&m1), nanos(&m2), "closed-loop model replay identical");
+    let m3 = replay_model_closed(&model, &topo, 2, 12, 5.0, opts).expect("replays");
+    assert_ne!(nanos(&m1), nanos(&m3), "seed changes the replay");
+}
+
+#[test]
+fn closed_loop_replay_is_parallelism_invariant_through_the_runner() {
+    use keddah::core::replay::replay_model_closed;
+    use keddah::core::{MatrixCell, Runner};
+
+    // The runner's derived seeds make captures (and hence fitted models)
+    // independent of worker count; closed-loop replay on top must stay
+    // byte-identical at any parallelism.
+    let cells = vec![
+        MatrixCell::new(
+            Workload::TeraSort,
+            512 << 20,
+            HadoopConfig::default().with_reducers(4),
+            2,
+        ),
+        MatrixCell::new(
+            Workload::WordCount,
+            512 << 20,
+            HadoopConfig::default().with_reducers(2),
+            2,
+        ),
+    ];
+    let replay_at_width = |parallelism: usize| -> Vec<Vec<u64>> {
+        // Fresh runner per width: no cross-width cache short-circuit.
+        let runner = Runner::new(ClusterSpec::racks(2, 3));
+        runner
+            .run_matrix(&cells, parallelism)
+            .iter()
+            .map(|cell| {
+                let model = cell.model.as_ref().expect("cell fits a model");
+                let report = replay_model_closed(
+                    model,
+                    &Topology::star(8, 1e9),
+                    2,
+                    11,
+                    5.0,
+                    SimOptions::default(),
+                )
+                .expect("replays");
+                report
+                    .sim
+                    .results
+                    .iter()
+                    .map(|r| r.finish.as_nanos())
+                    .collect()
+            })
+            .collect()
+    };
+    let serial = replay_at_width(1);
+    let wide = replay_at_width(4);
+    assert_eq!(serial, wide, "replay identical across --jobs widths");
+}
+
+#[test]
 fn trace_serialization_is_stable() {
     let cluster = ClusterSpec::racks(1, 4);
     let config = HadoopConfig::default().with_reducers(2);

@@ -227,6 +227,114 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replaying any flow set through a [`StaticSource`] on the shared
+    /// DES engine is byte-identical to the flat open-loop simulation.
+    #[test]
+    fn static_source_matches_open_loop(
+        flows in prop::collection::vec(
+            (0u32..8, 1u32..8, 1u64..10_000_000, 0u64..10_000),
+            1..40
+        )
+    ) {
+        use keddah::netsim::{
+            simulate, simulate_source, FlowSpec, HostId, SimOptions, StaticSource, Topology,
+        };
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|&(src, hop, bytes, start_ms)| FlowSpec {
+                src: HostId(src),
+                dst: HostId((src + hop) % 8),
+                bytes,
+                start: SimTime::from_millis(start_ms),
+                tag: 0,
+            })
+            .collect();
+        let topo = Topology::star(8, 1e9);
+        let opts = SimOptions::default();
+        let open = simulate(&topo, &specs, opts);
+        let closed = simulate_source(&topo, &mut StaticSource::new(specs), opts);
+        prop_assert_eq!(open.results.len(), closed.results.len());
+        for (a, b) in open.results.iter().zip(&closed.results) {
+            prop_assert_eq!(a.spec, b.spec);
+            prop_assert_eq!(a.finish.as_nanos(), b.finish.as_nanos());
+        }
+    }
+
+    /// Closed-loop trace replay injects every captured flow exactly once
+    /// (bytes are conserved per component) and never lets a dependent
+    /// flow finish before its parent.
+    #[test]
+    fn closed_loop_conserves_flows_and_ordering(
+        flows in prop::collection::vec(
+            (1u32..6, 1u32..5, 0u64..8_000, 1u64..4_000, 1u64..5_000_000, 0usize..5),
+            1..30
+        )
+    ) {
+        use keddah::core::replay::replay_source;
+        use keddah::core::source::TraceSource;
+        use keddah::flowcap::{Component, FiveTuple, FlowRecord, NodeId, Trace, TraceMeta};
+        use keddah::netsim::{SimOptions, Topology};
+        use std::collections::BTreeMap;
+
+        let records: Vec<FlowRecord> = flows
+            .iter()
+            .map(|&(src, hop, start_ms, len_ms, bytes, comp)| FlowRecord {
+                tuple: FiveTuple {
+                    src: NodeId(src),
+                    src_port: 40_000,
+                    dst: NodeId(1 + (src - 1 + hop) % 5),
+                    dst_port: 50_010,
+                },
+                start: SimTime::from_millis(start_ms),
+                end: SimTime::from_millis(start_ms + len_ms),
+                fwd_bytes: bytes,
+                rev_bytes: 0,
+                packets: 2,
+                component: Some(Component::ALL[comp]),
+            })
+            .collect();
+        let trace = Trace::new(TraceMeta::default(), records.clone());
+        let topo = Topology::star(6, 1e9);
+        let mut source = TraceSource::new(&trace, &topo).unwrap();
+        let report = replay_source(&topo, &mut source, SimOptions::default());
+
+        // Every flow ran exactly once; per-component bytes survive.
+        prop_assert_eq!(report.sim.results.len(), records.len());
+        let mut captured: BTreeMap<u32, u64> = BTreeMap::new();
+        for f in &records {
+            *captured
+                .entry(f.component.unwrap() as u32)
+                .or_default() += f.total_bytes();
+        }
+        let mut replayed: BTreeMap<u32, u64> = BTreeMap::new();
+        for r in &report.sim.results {
+            *replayed.entry(r.spec.tag).or_default() += r.spec.bytes;
+        }
+        let captured: Vec<u64> = captured.into_values().collect();
+        let mut replayed: Vec<u64> = replayed.into_values().collect();
+        replayed.sort_unstable();
+        let mut sorted_captured = captured;
+        sorted_captured.sort_unstable();
+        prop_assert_eq!(replayed, sorted_captured);
+
+        // Dependents finish no earlier than their parents.
+        let order = source.injection_order();
+        for (parent, child) in source.edges() {
+            let pf = order.iter().position(|&e| e == parent).unwrap();
+            let cf = order.iter().position(|&e| e == child).unwrap();
+            prop_assert!(
+                report.sim.results[cf].finish >= report.sim.results[pf].finish,
+                "child entry {child} finished at {:?}, before parent {parent} at {:?}",
+                report.sim.results[cf].finish,
+                report.sim.results[pf].finish
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Generated jobs respect the model's structural invariants for any
