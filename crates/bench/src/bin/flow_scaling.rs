@@ -1,0 +1,306 @@
+//! Flow-count scaling bench: incremental vs full-recompute allocation.
+//!
+//! Sweeps 1k/10k/100k concurrent flows through the fluid engine in open
+//! loop (static arrivals) and closed loop (completion-chained arrivals),
+//! under both the incremental [`FairShareState`] allocator and the forced
+//! full-recompute baseline (`SimOptions::full_recompute`, the pre-
+//! incremental engine's behaviour). Results are identical by construction
+//! — the sweep measures events/second only — and land in
+//! `BENCH_netsim.json` next to the committed baseline.
+//!
+//! The traffic is rack-local adjacent-pair flows on a 16x16 leaf-spine:
+//! every (src, src+1) pair forms its own two-link component, so arrivals
+//! and departures touch small disjoint components — the regime the
+//! incremental allocator exists for, and the shape of Keddah's
+//! rack-affine shuffle placement under many concurrent jobs.
+//!
+//! Modes:
+//! * default — full sweep including 100k flows (the full-recompute
+//!   baseline stops at 10k; at 100k it needs hours);
+//! * `KEDDAH_SMOKE=1` — 1k/10k only, for CI;
+//! * `KEDDAH_BENCH_CHECK=1` — before overwriting `BENCH_netsim.json`,
+//!   compare against it and exit non-zero if the open-loop 10k speedup
+//!   regressed by more than 25%.
+
+use std::time::Instant;
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use keddah_bench::{heading, smoke};
+use keddah_des::SimTime;
+use keddah_netsim::{
+    simulate, simulate_source, FairShareState, FlowId, FlowResult, FlowSpec, HostId, SimOptions,
+    SimReport, Topology, TrafficSource,
+};
+use serde::{Deserialize, Serialize};
+
+/// Racks and hosts per rack of the bench fabric.
+const RACKS: u32 = 16;
+const PER_RACK: u32 = 16;
+
+/// Fraction of the baseline open-loop 10k speedup below which the
+/// `KEDDAH_BENCH_CHECK` gate fails (a >25% regression).
+const REGRESSION_FLOOR: f64 = 0.75;
+
+fn fabric() -> Topology {
+    Topology::leaf_spine(RACKS, PER_RACK, 4, 1e9, 2.0)
+}
+
+/// Deterministic rack-local traffic: flow `i` runs between adjacent
+/// hosts of rack `i % RACKS`, so concurrent flows split into one
+/// two-link component per (src, dst) pair.
+fn pair_local_flows(n: usize, bytes: u64) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| {
+            let rack = i as u32 % RACKS;
+            let slot = (i as u32 / RACKS) % PER_RACK;
+            let src = rack * PER_RACK + slot;
+            let dst = rack * PER_RACK + (slot + 1) % PER_RACK;
+            FlowSpec {
+                src: HostId(src),
+                dst: HostId(dst),
+                // Spread sizes a little so completions don't all tie.
+                bytes: bytes + (i as u64 % 7) * 65_536,
+                start: SimTime::from_nanos(i as u64 * 1_000),
+                tag: rack,
+            }
+        })
+        .collect()
+}
+
+/// Closed-loop traffic: `n` chains run concurrently; each completion
+/// releases the next hop of its chain (direction reversed, staying
+/// rack-local) until `depth` flows have run.
+struct ChainSource {
+    heads: Vec<FlowSpec>,
+    /// Hops left per injected flow, indexed by injection order.
+    hops_left: Vec<u32>,
+    depth: u32,
+}
+
+impl ChainSource {
+    fn new(n: usize, depth: u32, bytes: u64) -> ChainSource {
+        ChainSource {
+            heads: pair_local_flows(n, bytes),
+            hops_left: Vec::new(),
+            depth,
+        }
+    }
+}
+
+impl TrafficSource for ChainSource {
+    fn on_start(&mut self) -> Vec<FlowSpec> {
+        let heads = std::mem::take(&mut self.heads);
+        self.hops_left = vec![self.depth - 1; heads.len()];
+        heads
+    }
+
+    fn on_flow_complete(&mut self, id: FlowId, result: &FlowResult) -> Vec<FlowSpec> {
+        let left = self.hops_left[id.0];
+        if left == 0 {
+            return Vec::new();
+        }
+        let parent = result.spec;
+        self.hops_left.push(left - 1);
+        vec![FlowSpec {
+            src: parent.dst,
+            dst: parent.src,
+            bytes: parent.bytes,
+            start: result.finish,
+            tag: parent.tag,
+        }]
+    }
+}
+
+/// One timed sweep cell of `BENCH_netsim.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct Case {
+    /// `open` or `closed`.
+    workload: String,
+    /// `incremental` or `full`.
+    allocator: String,
+    /// Target concurrent flow count.
+    flows: usize,
+    /// Flows actually simulated (closed loop runs `depth` per chain).
+    total_flows: usize,
+    events: u64,
+    peak_active: usize,
+    elapsed_secs: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    bench: String,
+    mode: String,
+    topology: String,
+    /// Open-loop 10k-flow events/sec, incremental over full-recompute —
+    /// the headline number the CI regression gate watches.
+    speedup_open_10k: f64,
+    cases: Vec<Case>,
+}
+
+fn options(full_recompute: bool) -> SimOptions {
+    SimOptions {
+        full_recompute,
+        ..SimOptions::default()
+    }
+}
+
+fn timed(label: &str, flows: usize, allocator: &str, run: impl FnOnce() -> SimReport) -> Case {
+    let start = Instant::now();
+    let report = run();
+    let elapsed = start.elapsed().as_secs_f64();
+    let case = Case {
+        workload: label.to_string(),
+        allocator: allocator.to_string(),
+        flows,
+        total_flows: report.results.len(),
+        events: report.events,
+        peak_active: report.peak_active,
+        elapsed_secs: elapsed,
+        events_per_sec: report.events as f64 / elapsed.max(1e-9),
+    };
+    println!(
+        "{label:>6} {allocator:>12} {flows:>7} flows: {:>8} events in {elapsed:>8.3}s \
+         ({:>12.0} events/s, peak {})",
+        case.events, case.events_per_sec, case.peak_active
+    );
+    case
+}
+
+/// Criterion micro-group: allocator churn on a small fabric, insert and
+/// retire every flow once, incremental vs from-scratch refill.
+fn bench_allocator_churn(c: &mut Criterion) {
+    let topo = Topology::leaf_spine(4, 8, 2, 1e9, 2.0);
+    let caps = topo.capacities();
+    let flows = pair_local_flows_on(256, &topo);
+    let mut group = c.benchmark_group("fair_share_churn");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for (name, full) in [("incremental", false), ("full_recompute", true)] {
+        group.bench_with_input(BenchmarkId::new(name, flows.len()), &flows, |b, flows| {
+            b.iter(|| {
+                let mut state = FairShareState::new(caps.clone(), 10e9).with_full_recompute(full);
+                let ids: Vec<_> = flows.iter().map(|f| state.insert_flow(f)).collect();
+                for id in ids {
+                    state.remove_flow(id);
+                }
+                black_box(state.solves())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Routed link lists for `n` adjacent-pair flows on `topo` (4 racks x 8
+/// hosts in the churn group).
+fn pair_local_flows_on(n: usize, topo: &Topology) -> Vec<Vec<u32>> {
+    let mut router = keddah_netsim::RouteCache::warmed(topo);
+    (0..n)
+        .map(|i| {
+            let rack = i as u32 % 4;
+            let slot = (i as u32 / 4) % 8;
+            let src = rack * 8 + slot;
+            let dst = rack * 8 + (slot + 1) % 8;
+            router
+                .route(HostId(src), HostId(dst), i as u64)
+                .into_iter()
+                .map(|l| l.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = smoke();
+    let mode = if smoke { "smoke" } else { "full" };
+    heading(&format!("flow_scaling: allocator scaling sweep ({mode})"));
+
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_allocator_churn(&mut criterion);
+    criterion.final_summary();
+
+    let topo = fabric();
+    let sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    // The full-recompute baseline is cubic-ish in concurrency; past 10k
+    // it needs hours, so the sweep caps it there (documented in the
+    // README performance table).
+    const FULL_CAP: usize = 10_000;
+
+    println!();
+    let mut cases = Vec::new();
+    for &n in sizes {
+        // Bigger sweeps shrink per-flow payload so simulated time — and
+        // event count — stays proportional to the flow count.
+        let bytes = (4 << 20) / (n / 1_000).max(1) as u64 + (1 << 20);
+        for full in [false, true] {
+            if full && n > FULL_CAP {
+                continue;
+            }
+            let allocator = if full { "full" } else { "incremental" };
+            let flows = pair_local_flows(n, bytes);
+            cases.push(timed("open", n, allocator, || {
+                simulate(&topo, &flows, options(full))
+            }));
+            cases.push(timed("closed", n, allocator, || {
+                let mut source = ChainSource::new(n, 2, bytes / 2);
+                simulate_source(&topo, &mut source, options(full))
+            }));
+        }
+    }
+
+    let rate = |workload: &str, allocator: &str, flows: usize| {
+        cases
+            .iter()
+            .find(|c| c.workload == workload && c.allocator == allocator && c.flows == flows)
+            .map(|c| c.events_per_sec)
+    };
+    let speedup = match (
+        rate("open", "incremental", 10_000),
+        rate("open", "full", 10_000),
+    ) {
+        (Some(inc), Some(full)) => inc / full,
+        _ => 0.0,
+    };
+    println!("\nopen-loop 10k speedup (incremental / full): {speedup:.2}x");
+
+    let report = BenchReport {
+        bench: "flow_scaling".to_string(),
+        mode: mode.to_string(),
+        topology: format!("leaf_spine({RACKS}x{PER_RACK}, 4 spines, 2:1)"),
+        speedup_open_10k: speedup,
+        cases,
+    };
+
+    let path = "BENCH_netsim.json";
+    let check = std::env::var("KEDDAH_BENCH_CHECK").is_ok_and(|v| v != "0");
+    let mut regressed = false;
+    if check {
+        match std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<BenchReport>(&s).ok())
+        {
+            Some(baseline) if baseline.speedup_open_10k > 0.0 => {
+                let floor = REGRESSION_FLOOR * baseline.speedup_open_10k;
+                println!(
+                    "regression gate: speedup {:.2}x vs baseline {:.2}x (floor {:.2}x)",
+                    speedup, baseline.speedup_open_10k, floor
+                );
+                regressed = speedup < floor;
+            }
+            _ => println!("regression gate: no committed baseline with a 10k speedup; skipping"),
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_netsim.json");
+    println!("wrote {path}");
+
+    if regressed {
+        eprintln!("FAIL: open-loop 10k speedup regressed by more than 25% vs committed baseline");
+        std::process::exit(1);
+    }
+}

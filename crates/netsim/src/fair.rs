@@ -4,6 +4,42 @@
 //! instant, active flows receive the max-min fair allocation over the
 //! links they traverse, computed by progressive filling. This is the
 //! bandwidth-sharing model under which the replay experiments run.
+//!
+//! Two entry points share the arithmetic:
+//!
+//! * [`max_min_rates`] — the pure from-scratch solver over one flow set;
+//! * [`FairShareState`] — an incremental allocator that keeps per-link
+//!   flow adjacency between events and, on each [`insert_flow`] /
+//!   [`remove_flow`], re-solves only the *affected component*: the flows
+//!   transitively connected to the mutated flow through shared links.
+//!   Its rates are **bit-for-bit identical** to [`max_min_rates`] over
+//!   the full active set after every mutation (see the module's
+//!   equivalence argument below), which is what keeps same-seed replays
+//!   byte-identical whichever path runs.
+//!
+//! # Why component-scoped re-solving is exact
+//!
+//! Progressive filling over a union of link-disjoint flow components
+//! performs, per component, the same floating-point operations as
+//! filling each component alone:
+//!
+//! * a link's `remaining` capacity is only ever decremented by flows
+//!   crossing that link, i.e. flows of its own component;
+//! * the bottleneck selection order *within* a component depends only on
+//!   that component's shares plus the global link index used to break
+//!   ties, never on other components' links;
+//! * within one freeze round every frozen flow subtracts the *same*
+//!   share value, so the order of subtractions (and `.max(0.0)` clamps)
+//!   on any given link cannot change the result.
+//!
+//! Hence a flow's rate is a function of its component only, and cached
+//! rates of untouched components remain exactly what a from-scratch
+//! solve would produce. The property test
+//! `fair_share_state_matches_full_recompute` pins this with exact
+//! (bitwise) equality, well inside the 1e-9 budget.
+//!
+//! [`insert_flow`]: FairShareState::insert_flow
+//! [`remove_flow`]: FairShareState::remove_flow
 
 /// Computes max-min fair rates (bits/s) for a set of flows.
 ///
@@ -101,6 +137,430 @@ pub fn max_min_rates(flow_links: &[Vec<u32>], capacities: &[f64], local_bps: f64
     rates
 }
 
+/// Handle to a flow registered with a [`FairShareState`].
+///
+/// Handles are arena slots: stable while the flow is active, recycled
+/// after [`FairShareState::remove_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FairFlowId(pub u32);
+
+#[derive(Debug, Clone, Default)]
+struct FlowSlot {
+    links: Vec<u32>,
+    alive: bool,
+}
+
+/// Incremental max-min fair allocator.
+///
+/// Maintains the active flow set, per-link flow adjacency and per-flow
+/// rates across mutations. Inserting or removing a flow re-solves only
+/// the affected component (flows transitively sharing links with the
+/// mutated flow); when that dirty set exceeds
+/// [`fallback_threshold`](Self::with_fallback_threshold) of the active
+/// flows — or when full recompute is forced — the whole set is refilled
+/// with dense per-link arrays instead, which produces the same rates at
+/// a lower constant factor.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_netsim::fair::{max_min_rates, FairShareState};
+///
+/// let mut state = FairShareState::new(vec![10.0, 2.0], 100.0);
+/// let a = state.insert_flow(&[0]);
+/// let b = state.insert_flow(&[0, 1]);
+/// assert!((state.rate(b) - 2.0).abs() < 1e-12); // bottlenecked on link 1
+/// assert!((state.rate(a) - 8.0).abs() < 1e-12); // picks up the slack
+/// // Exactly the from-scratch allocation:
+/// let full = max_min_rates(&[vec![0], vec![0, 1]], &[10.0, 2.0], 100.0);
+/// assert_eq!(vec![state.rate(a), state.rate(b)], full);
+/// state.remove_flow(b);
+/// assert_eq!(state.rate(a), 10.0);
+/// ```
+#[derive(Debug)]
+pub struct FairShareState {
+    capacities: Vec<f64>,
+    local_bps: f64,
+    full_recompute: bool,
+    /// Dirty-set fraction above which [`fill_dense`](Self::fill_dense)
+    /// replaces the component-local solve.
+    fallback_threshold: f64,
+    slots: Vec<FlowSlot>,
+    rates: Vec<f64>,
+    free: Vec<u32>,
+    /// link -> active flows crossing it, one entry per crossing (a flow
+    /// listing a link twice appears twice).
+    link_flows: Vec<Vec<u32>>,
+    /// Active flows, local (link-less) ones included.
+    active: usize,
+    /// Active flows that traverse at least one link.
+    active_on_links: usize,
+
+    // Stamped scratch maps: an entry is valid iff its stamp equals
+    // `stamp`, so per-solve clearing is O(touched), not O(total).
+    stamp: u64,
+    flow_mark: Vec<u64>,
+    flow_local: Vec<u32>,
+    link_mark: Vec<u64>,
+    link_local: Vec<u32>,
+
+    // Dense-fill scratch, reused across solves.
+    dense_remaining: Vec<f64>,
+    dense_unfrozen: Vec<u32>,
+
+    // Instrumentation for benches and the DESIGN ablation.
+    solves: u64,
+    solved_flows: u64,
+    dense_solves: u64,
+}
+
+impl FairShareState {
+    /// Creates an empty allocator over links with the given capacities;
+    /// flows with no links are allocated `local_bps`.
+    #[must_use]
+    pub fn new(capacities: Vec<f64>, local_bps: f64) -> Self {
+        let n_links = capacities.len();
+        FairShareState {
+            capacities,
+            local_bps,
+            full_recompute: false,
+            fallback_threshold: 0.75,
+            slots: Vec::new(),
+            rates: Vec::new(),
+            free: Vec::new(),
+            link_flows: vec![Vec::new(); n_links],
+            active: 0,
+            active_on_links: 0,
+            stamp: 0,
+            flow_mark: Vec::new(),
+            flow_local: Vec::new(),
+            link_mark: vec![0; n_links],
+            link_local: vec![0; n_links],
+            dense_remaining: vec![0.0; n_links],
+            dense_unfrozen: vec![0; n_links],
+            solves: 0,
+            solved_flows: 0,
+            dense_solves: 0,
+        }
+    }
+
+    /// Forces full progressive filling on every mutation (the
+    /// pre-incremental engine's behaviour). Rates are identical either
+    /// way; this is the correctness oracle and the perf baseline the
+    /// `flow_scaling` bench measures against.
+    #[must_use]
+    pub fn with_full_recompute(mut self, full: bool) -> Self {
+        self.full_recompute = full;
+        self
+    }
+
+    /// Sets the dirty-set fraction above which a mutation falls back to
+    /// dense full filling (clamped to `(0, 1]`; default 0.75).
+    #[must_use]
+    pub fn with_fallback_threshold(mut self, frac: f64) -> Self {
+        self.fallback_threshold = frac.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Registers a flow crossing `links` and re-solves the affected
+    /// component. An empty link list is a host-local flow, allocated the
+    /// local rate immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link index is out of range.
+    pub fn insert_flow(&mut self, links: &[u32]) -> FairFlowId {
+        for &l in links {
+            assert!(
+                (l as usize) < self.capacities.len(),
+                "link {l} out of range"
+            );
+        }
+        let id = if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize].links.clear();
+            self.slots[slot as usize].links.extend_from_slice(links);
+            self.slots[slot as usize].alive = true;
+            slot
+        } else {
+            self.slots.push(FlowSlot {
+                links: links.to_vec(),
+                alive: true,
+            });
+            self.rates.push(0.0);
+            self.flow_mark.push(0);
+            self.flow_local.push(0);
+            (self.slots.len() - 1) as u32
+        };
+        self.active += 1;
+        if links.is_empty() {
+            self.rates[id as usize] = self.local_bps;
+            return FairFlowId(id);
+        }
+        self.active_on_links += 1;
+        for &l in links {
+            self.link_flows[l as usize].push(id);
+        }
+        self.resolve_around(&[id]);
+        FairFlowId(id)
+    }
+
+    /// Unregisters a flow and re-solves the component it left behind
+    /// (which may have split into several; solving their union is
+    /// equivalent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (already removed).
+    pub fn remove_flow(&mut self, id: FairFlowId) {
+        let slot = id.0 as usize;
+        assert!(
+            self.slots.get(slot).is_some_and(|s| s.alive),
+            "remove_flow on stale handle {id:?}"
+        );
+        self.slots[slot].alive = false;
+        self.rates[slot] = 0.0;
+        self.active -= 1;
+        let links = std::mem::take(&mut self.slots[slot].links);
+        self.free.push(id.0);
+        if links.is_empty() {
+            return;
+        }
+        self.active_on_links -= 1;
+        // Collect the orphaned neighbours before dropping the adjacency.
+        self.stamp += 1;
+        let mut seeds: Vec<u32> = Vec::new();
+        for &l in &links {
+            self.link_flows[l as usize].retain(|&f| f != id.0);
+            for &f in &self.link_flows[l as usize] {
+                if self.flow_mark[f as usize] != self.stamp {
+                    self.flow_mark[f as usize] = self.stamp;
+                    seeds.push(f);
+                }
+            }
+        }
+        if !seeds.is_empty() {
+            self.resolve_around(&seeds);
+        }
+    }
+
+    /// The current rate of an active flow, bits/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    #[must_use]
+    pub fn rate(&self, id: FairFlowId) -> f64 {
+        let slot = id.0 as usize;
+        assert!(
+            self.slots.get(slot).is_some_and(|s| s.alive),
+            "rate of stale handle {id:?}"
+        );
+        self.rates[slot]
+    }
+
+    /// Rates of every active flow, sorted by handle.
+    #[must_use]
+    pub fn rates(&self) -> Vec<(FairFlowId, f64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| (FairFlowId(i as u32), self.rates[i]))
+            .collect()
+    }
+
+    /// Number of active flows (local ones included).
+    #[must_use]
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// Total component solves performed, dense fallbacks included.
+    #[must_use]
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Total flow rates written across all solves — the incremental
+    /// path's work metric (the full-recompute path re-writes every
+    /// active flow on every event).
+    #[must_use]
+    pub fn solved_flows(&self) -> u64 {
+        self.solved_flows
+    }
+
+    /// How many solves fell back to dense full filling.
+    #[must_use]
+    pub fn dense_solves(&self) -> u64 {
+        self.dense_solves
+    }
+
+    /// Re-solves the component reachable from `seeds` (flows), or
+    /// everything via the dense path when the dirty set is large enough
+    /// that component bookkeeping stops paying for itself.
+    fn resolve_around(&mut self, seeds: &[u32]) {
+        if self.full_recompute {
+            self.fill_dense();
+            return;
+        }
+        // BFS over the flow/link sharing graph. `flow_local` doubles as
+        // the local index map for the fill; `link_local` likewise.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut members: Vec<u32> = Vec::with_capacity(seeds.len());
+        let mut comp_links: Vec<u32> = Vec::new();
+        for &f in seeds {
+            if self.flow_mark[f as usize] != stamp {
+                self.flow_mark[f as usize] = stamp;
+                self.flow_local[f as usize] = members.len() as u32;
+                members.push(f);
+            }
+        }
+        let mut head = 0usize;
+        while head < members.len() {
+            let f = members[head] as usize;
+            head += 1;
+            for li in 0..self.slots[f].links.len() {
+                let l = self.slots[f].links[li] as usize;
+                if self.link_mark[l] != stamp {
+                    self.link_mark[l] = stamp;
+                    self.link_local[l] = comp_links.len() as u32;
+                    comp_links.push(l as u32);
+                    for gi in 0..self.link_flows[l].len() {
+                        let g = self.link_flows[l][gi] as usize;
+                        if self.flow_mark[g] != stamp {
+                            self.flow_mark[g] = stamp;
+                            self.flow_local[g] = members.len() as u32;
+                            members.push(g as u32);
+                        }
+                    }
+                }
+            }
+        }
+        // Dense fallback: once the dirty set is most of the active flows
+        // (and big enough for the local index maps to cost more than
+        // they save), plain full filling has the lower constant factor.
+        let dirty_frac = members.len() as f64 / self.active_on_links.max(1) as f64;
+        if members.len() >= 64 && dirty_frac > self.fallback_threshold {
+            self.fill_dense();
+        } else {
+            self.fill_local(&members, &comp_links);
+        }
+    }
+
+    /// Progressive filling restricted to one component, with the
+    /// component's links remapped to dense local indices. Reproduces
+    /// [`max_min_rates`]'s arithmetic exactly: identical share
+    /// divisions, identical subtraction-and-clamp updates, and the same
+    /// bottleneck tie-break (lowest *global* link index).
+    fn fill_local(&mut self, members: &[u32], comp_links: &[u32]) {
+        self.solves += 1;
+        self.solved_flows += members.len() as u64;
+        let stamp = self.stamp;
+        let (slots, rates) = (&self.slots, &mut self.rates);
+        let (link_flows, flow_local, link_local) =
+            (&self.link_flows, &self.flow_local, &self.link_local);
+        let mut remaining: Vec<f64> = comp_links
+            .iter()
+            .map(|&l| self.capacities[l as usize])
+            .collect();
+        // All flows crossing a component link are members by closure, so
+        // the unfrozen count starts at the full crossing count.
+        let mut unfrozen: Vec<u32> = comp_links
+            .iter()
+            .map(|&l| link_flows[l as usize].len() as u32)
+            .collect();
+        let mut frozen: Vec<bool> = vec![false; members.len()];
+
+        loop {
+            // Bottleneck: smallest share; ties break on the smallest
+            // global link id, exactly like the full solver's ascending
+            // link scan.
+            let mut best: Option<(f64, u32, usize)> = None;
+            for (j, (&count, &global)) in unfrozen.iter().zip(comp_links).enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let share = (remaining[j] / f64::from(count)).max(0.0);
+                match best {
+                    Some((s, g, _)) if s < share || (s == share && g < global) => {}
+                    _ => best = Some((share, global, j)),
+                }
+            }
+            let Some((share, _, bottleneck)) = best else {
+                break;
+            };
+            for &f in &link_flows[comp_links[bottleneck] as usize] {
+                let local = flow_local[f as usize] as usize;
+                debug_assert_eq!(self.flow_mark[f as usize], stamp);
+                if frozen[local] {
+                    continue;
+                }
+                frozen[local] = true;
+                rates[f as usize] = share;
+                for &l in &slots[f as usize].links {
+                    debug_assert_eq!(self.link_mark[l as usize], stamp);
+                    let lj = link_local[l as usize] as usize;
+                    remaining[lj] = (remaining[lj] - share).max(0.0);
+                    unfrozen[lj] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Dense full refill: progressive filling over every active flow
+    /// using the persistent adjacency, mirroring [`max_min_rates`]
+    /// (ascending-link bottleneck scan included) without rebuilding
+    /// `flow_links` vectors.
+    fn fill_dense(&mut self) {
+        self.solves += 1;
+        self.dense_solves += 1;
+        self.solved_flows += self.active_on_links as u64;
+        self.dense_remaining.copy_from_slice(&self.capacities);
+        for (l, flows) in self.link_flows.iter().enumerate() {
+            self.dense_unfrozen[l] = flows.len() as u32;
+        }
+        // Reuse the stamp map as the frozen set.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let (slots, rates, flow_mark) = (&self.slots, &mut self.rates, &mut self.flow_mark);
+        let (link_flows, remaining, unfrozen) = (
+            &self.link_flows,
+            &mut self.dense_remaining,
+            &mut self.dense_unfrozen,
+        );
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (l, &count) in unfrozen.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let share = (remaining[l] / f64::from(count)).max(0.0);
+                match best {
+                    Some((_, s)) if s <= share => {}
+                    _ => best = Some((l, share)),
+                }
+            }
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
+            for &f in &link_flows[bottleneck] {
+                let f = f as usize;
+                if flow_mark[f] == stamp {
+                    continue; // already frozen this solve
+                }
+                flow_mark[f] = stamp;
+                rates[f] = share;
+                for &l in &slots[f].links {
+                    let l = l as usize;
+                    remaining[l] = (remaining[l] - share).max(0.0);
+                    unfrozen[l] -= 1;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +645,121 @@ mod tests {
         for (l, &u) in used.iter().enumerate() {
             assert!(u <= caps[l] + 1e-9, "link {l} over capacity: {u}");
         }
+    }
+
+    /// Drives a state and a from-scratch shadow in lockstep, asserting
+    /// bitwise-equal rates after every mutation.
+    fn assert_state_tracks_full(caps: &[f64], script: &[(bool, Vec<u32>)]) {
+        let mut state = FairShareState::new(caps.to_vec(), 1e10);
+        let mut alive: Vec<(FairFlowId, Vec<u32>)> = Vec::new();
+        for (step, (remove, links)) in script.iter().enumerate() {
+            if *remove && !alive.is_empty() {
+                let (id, _) =
+                    alive.remove(links.first().copied().unwrap_or(0) as usize % alive.len());
+                state.remove_flow(id);
+            } else {
+                let id = state.insert_flow(links);
+                alive.push((id, links.clone()));
+            }
+            let shadow: Vec<Vec<u32>> = alive.iter().map(|(_, l)| l.clone()).collect();
+            let expect = max_min_rates(&shadow, caps, 1e10);
+            for ((id, _), want) in alive.iter().zip(&expect) {
+                let got = state.rate(*id);
+                assert!(
+                    got == *want,
+                    "step {step}: flow {id:?} rate {got} != full recompute {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_matches_full_on_mixed_script() {
+        let caps = [10.0, 7.0, 4.0, 6.0, 9.0, 2.0];
+        let script = vec![
+            (false, vec![0, 2]),
+            (false, vec![0, 3]),
+            (false, vec![]), // local flow
+            (false, vec![1, 4]),
+            (false, vec![5, 5]),    // crosses link 5 twice
+            (false, vec![1, 2, 3]), // merges two components
+            (true, vec![1]),
+            (false, vec![4]),
+            (true, vec![0]),
+            (true, vec![2]),
+            (false, vec![0, 1, 2, 3, 4, 5]),
+            (true, vec![0]),
+            (true, vec![0]),
+            (true, vec![0]),
+        ];
+        assert_state_tracks_full(&caps, &script);
+    }
+
+    #[test]
+    fn state_matches_full_under_forced_full_recompute() {
+        let caps = [8.0, 3.0];
+        let mut state = FairShareState::new(caps.to_vec(), 50.0).with_full_recompute(true);
+        let a = state.insert_flow(&[0]);
+        let b = state.insert_flow(&[0, 1]);
+        let full = max_min_rates(&[vec![0], vec![0, 1]], &caps, 50.0);
+        assert_eq!(state.rate(a), full[0]);
+        assert_eq!(state.rate(b), full[1]);
+        assert!(state.dense_solves() >= 2, "forced path is always dense");
+    }
+
+    #[test]
+    fn state_reuses_slots_and_tracks_active() {
+        let mut state = FairShareState::new(vec![5.0], 1.0);
+        let a = state.insert_flow(&[0]);
+        assert_eq!(state.active_flows(), 1);
+        state.remove_flow(a);
+        assert_eq!(state.active_flows(), 0);
+        let b = state.insert_flow(&[0]);
+        assert_eq!(b, a, "freed slot is recycled");
+        assert_eq!(state.rates(), vec![(b, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn state_rejects_stale_handles() {
+        let mut state = FairShareState::new(vec![5.0], 1.0);
+        let a = state.insert_flow(&[0]);
+        state.remove_flow(a);
+        state.remove_flow(a);
+    }
+
+    #[test]
+    fn local_flows_are_singleton_components() {
+        let mut state = FairShareState::new(vec![4.0], 77.0);
+        let a = state.insert_flow(&[]);
+        let b = state.insert_flow(&[0]);
+        assert_eq!(state.rate(a), 77.0);
+        assert_eq!(state.rate(b), 4.0);
+        let solves = state.solves();
+        state.remove_flow(a); // no links: nothing to re-solve
+        assert_eq!(state.solves(), solves);
+        assert_eq!(state.rate(b), 4.0);
+    }
+
+    #[test]
+    fn disjoint_components_do_not_resolve_each_other() {
+        // Two independent links: mutating one side must not re-solve the
+        // other (solved_flows counts rate writes).
+        let mut state = FairShareState::new(vec![10.0, 10.0], 1e10);
+        let _left = state.insert_flow(&[0]);
+        let before = state.solved_flows();
+        let right = state.insert_flow(&[1]);
+        assert_eq!(
+            state.solved_flows() - before,
+            1,
+            "inserting into an empty link touches one flow"
+        );
+        state.remove_flow(right);
+        assert_eq!(
+            state.solved_flows() - before,
+            1,
+            "removal left no neighbours"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod source;
 mod tcp;
 mod topology;
 
+pub use fair::{max_min_rates, FairFlowId, FairShareState};
 pub use routing::RouteCache;
 pub use sim::{simulate, simulate_source, FlowResult, FlowSpec, SimOptions, SimReport};
 pub use source::{FlowId, StaticSource, TrafficSource};

@@ -38,6 +38,29 @@ impl<'a> RouteCache<'a> {
         }
     }
 
+    /// Creates a cache with every host's distance table precomputed.
+    ///
+    /// Routing then never pays a BFS at simulation time — the
+    /// `flow_scaling` bench uses this to keep route construction out of
+    /// the allocator measurements, and large replays (every host a
+    /// destination sooner or later) skip the first-touch latency.
+    #[must_use]
+    pub fn warmed(topo: &'a Topology) -> Self {
+        let mut cache = RouteCache::new(topo);
+        cache.warm();
+        cache
+    }
+
+    /// Precomputes the distance tables of all hosts not yet cached.
+    pub fn warm(&mut self) {
+        for dst in 0..self.topo.host_count() {
+            let topo = self.topo;
+            self.distances
+                .entry(dst)
+                .or_insert_with(|| topo.distances_to(dst));
+        }
+    }
+
     /// Number of destinations whose distance table is cached.
     #[must_use]
     pub fn cached_destinations(&self) -> usize {
@@ -85,6 +108,16 @@ mod tests {
             }
         }
         // One BFS per destination, not per call.
+        assert_eq!(cache.cached_destinations() as u32, topo.host_count());
+    }
+
+    #[test]
+    fn warmed_cache_needs_no_lazy_bfs() {
+        let topo = Topology::leaf_spine(2, 3, 2, 1e9, 1.0);
+        let mut cache = RouteCache::warmed(&topo);
+        assert_eq!(cache.cached_destinations() as u32, topo.host_count());
+        let path = cache.route(HostId(0), HostId(5), 3);
+        assert_eq!(path, topo.route(HostId(0), HostId(5), 3));
         assert_eq!(cache.cached_destinations() as u32, topo.host_count());
     }
 

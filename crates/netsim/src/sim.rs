@@ -12,7 +12,7 @@
 use keddah_des::{Duration, Engine, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::fair::max_min_rates;
+use crate::fair::{FairFlowId, FairShareState};
 use crate::routing::RouteCache;
 use crate::source::{FlowId, StaticSource, TrafficSource};
 use crate::topology::{HostId, Topology};
@@ -70,6 +70,14 @@ pub struct SimOptions {
     /// qualitative FCT effect slow start has in packet simulators. Off
     /// by default (pure fluid model).
     pub tcp_slow_start: bool,
+    /// Disable incremental fair-share maintenance and re-run full
+    /// progressive filling on every event (the pre-incremental engine's
+    /// behaviour). Completion times are identical either way — this is
+    /// the correctness oracle the determinism tests exercise and the
+    /// baseline the `flow_scaling` bench measures against. Defaults to
+    /// the `KEDDAH_FULL_RECOMPUTE` environment variable (set to anything
+    /// but `0`).
+    pub full_recompute: bool,
 }
 
 impl Default for SimOptions {
@@ -79,6 +87,7 @@ impl Default for SimOptions {
             mouse_threshold: 0,
             local_bps: 10e9,
             tcp_slow_start: false,
+            full_recompute: std::env::var("KEDDAH_FULL_RECOMPUTE").is_ok_and(|v| v != "0"),
         }
     }
 }
@@ -106,6 +115,10 @@ pub struct SimReport {
     pub link_bytes: Vec<u64>,
     /// Largest number of concurrently active fluid flows.
     pub peak_active: usize,
+    /// Simulation events processed (arrivals, completions and completion
+    /// notifications; stale rate predictions excluded). The throughput
+    /// denominator of the `flow_scaling` bench.
+    pub events: u64,
 }
 
 impl SimReport {
@@ -148,7 +161,8 @@ impl SimReport {
 struct ActiveFlow {
     idx: usize,
     remaining_bits: f64,
-    links: Vec<u32>,
+    /// Handle into the incremental fair-share allocator.
+    fair: FairFlowId,
 }
 
 /// Engine events of the fluid loop. Nanosecond timestamps order events;
@@ -226,7 +240,7 @@ pub fn simulate_source(
     source: &mut dyn TrafficSource,
     options: SimOptions,
 ) -> SimReport {
-    let capacities: Vec<f64> = topo.links().iter().map(|l| l.capacity_bps).collect();
+    let capacities = topo.capacities();
     let mut link_bytes = vec![0u64; capacities.len()];
 
     // The flow arena: grows as the source injects. Results share its
@@ -246,18 +260,19 @@ pub fn simulate_source(
 
     let mut router = RouteCache::new(topo);
     let mut active: Vec<ActiveFlow> = Vec::new();
-    let mut rates: Vec<f64> = Vec::new();
+    // Incremental max-min state: arrivals/retirements re-solve only the
+    // affected component; rates stay bit-identical to full progressive
+    // filling on every event (see `fair`), so the knob below changes
+    // wall-clock, never results.
+    let mut fair = FairShareState::new(capacities.clone(), options.local_bps)
+        .with_full_recompute(options.full_recompute);
     let mut now = 0.0f64;
     let mut peak_active = 0usize;
     // Completion predictions older than the last arrival/retirement are
     // stale; the generation counter skips them.
     let mut gen: u64 = 0;
     let mut iterations: u64 = 0;
-
-    let recompute = |active: &[ActiveFlow]| -> Vec<f64> {
-        let flow_links: Vec<Vec<u32>> = active.iter().map(|f| f.links.clone()).collect();
-        max_min_rates(&flow_links, &capacities, options.local_bps)
-    };
+    let mut events: u64 = 0;
 
     engine.run(|t, ev, queue| {
         // The event's precise time: arrivals carry exact nanoseconds,
@@ -272,6 +287,7 @@ pub fn simulate_source(
             }
             Ev::Notify { id } => {
                 // Completion callback: the source may release dependents.
+                events += 1;
                 let result = results[id].expect("notified flow has a result");
                 for mut spec in source.on_flow_complete(FlowId(id), &result) {
                     // A dependent flow cannot start before its trigger.
@@ -288,6 +304,7 @@ pub fn simulate_source(
         };
 
         iterations += 1;
+        events += 1;
         if iterations > 20 * flows.len() as u64 + 10_000 {
             panic!(
                 "fluid simulation failed to converge: {} active flows at t={now}, {} total, \
@@ -299,14 +316,18 @@ pub fn simulate_source(
                     .map(|f| f.remaining_bits)
                     .take(5)
                     .collect::<Vec<_>>(),
-                rates.iter().take(5).collect::<Vec<_>>()
+                active
+                    .iter()
+                    .map(|f| fair.rate(f.fair))
+                    .take(5)
+                    .collect::<Vec<_>>()
             );
         }
 
         // Drain transferred bits up to the event's precise time.
         let dt = (tf - now).max(0.0);
-        for (f, &r) in active.iter_mut().zip(&rates) {
-            f.remaining_bits = (f.remaining_bits - r * dt).max(0.0);
+        for f in active.iter_mut() {
+            f.remaining_bits = (f.remaining_bits - fair.rate(f.fair) * dt).max(0.0);
         }
         now = tf;
 
@@ -335,16 +356,16 @@ pub fn simulate_source(
                     results[id] = Some(FlowResult { spec, finish });
                     queue.push(finish.max(t), Ev::Notify { id });
                 } else {
+                    let fair_id = fair.insert_flow(&links);
                     active.push(ActiveFlow {
                         idx: id,
                         // Propagation charged up front as extra "bits" at
                         // the eventual rate would distort sharing; instead
                         // it is added to the finish time on completion.
                         remaining_bits: (spec.bytes as f64 * 8.0).max(1.0),
-                        links,
+                        fair: fair_id,
                     });
                     peak_active = peak_active.max(active.len());
-                    rates = recompute(&active);
                 }
             }
             Ev::Complete { .. } => {
@@ -353,7 +374,7 @@ pub fn simulate_source(
                 let mut finished = Vec::new();
                 active.retain(|f| {
                     if f.remaining_bits <= RETIRE_EPS_BITS {
-                        finished.push(f.idx);
+                        finished.push((f.idx, f.fair));
                         false
                     } else {
                         true
@@ -367,9 +388,11 @@ pub fn simulate_source(
                         .enumerate()
                         .min_by(|(_, a), (_, b)| a.remaining_bits.total_cmp(&b.remaining_bits))
                         .expect("active is non-empty");
-                    finished.push(active.remove(pos).idx);
+                    let f = active.remove(pos);
+                    finished.push((f.idx, f.fair));
                 }
-                for id in finished {
+                for (id, fair_id) in finished {
+                    fair.remove_flow(fair_id);
                     let spec = flows[id];
                     let extra =
                         options.propagation.as_secs_f64() + slow_start_delay(spec.bytes, &options);
@@ -377,7 +400,6 @@ pub fn simulate_source(
                     results[id] = Some(FlowResult { spec, finish });
                     queue.push(finish.max(t), Ev::Notify { id });
                 }
-                rates = recompute(&active);
             }
             Ev::Notify { .. } => unreachable!("handled above"),
         }
@@ -388,8 +410,7 @@ pub fn simulate_source(
         gen += 1;
         let next_completion = active
             .iter()
-            .zip(&rates)
-            .map(|(f, &r)| now + f.remaining_bits / r.max(1e-9))
+            .map(|f| now + f.remaining_bits / fair.rate(f.fair).max(1e-9))
             .fold(f64::INFINITY, f64::min);
         if next_completion.is_finite() {
             queue.push(
@@ -409,6 +430,7 @@ pub fn simulate_source(
             .collect(),
         link_bytes,
         peak_active,
+        events,
     }
 }
 

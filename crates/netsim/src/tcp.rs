@@ -224,6 +224,8 @@ pub fn simulate_tcp(topo: &Topology, flows: &[FlowSpec], options: TcpOptions) ->
             .collect(),
         link_bytes,
         peak_active,
+        // Each simulated RTT round is one event of this stepped model.
+        events: round,
     }
 }
 

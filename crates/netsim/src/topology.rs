@@ -221,6 +221,14 @@ impl Topology {
         self.links[link.0 as usize].capacity_bps
     }
 
+    /// Capacities of every directed link, indexed by link id — the
+    /// dense table the fair-share allocator
+    /// ([`crate::fair::FairShareState`]) is seeded with.
+    #[must_use]
+    pub fn capacities(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.capacity_bps).collect()
+    }
+
     pub(crate) fn links(&self) -> &[Link] {
         &self.links
     }

@@ -140,6 +140,49 @@ fn closed_loop_replay_is_parallelism_invariant_through_the_runner() {
 }
 
 #[test]
+fn full_recompute_knob_and_jobs_width_never_change_comparisons() {
+    use keddah::core::replay::{replay_jobs, replay_model_closed};
+    use keddah::core::validate::compare_replays;
+    use keddah::core::{MatrixCell, Runner};
+
+    // The incremental allocator (`full_recompute: false`) must be
+    // invisible end to end: open-vs-closed replay comparisons of the
+    // same fitted model serialize byte-identically whether rates come
+    // from incremental component re-solves or from full progressive
+    // filling, at any runner width.
+    let cells = vec![MatrixCell::new(
+        Workload::TeraSort,
+        512 << 20,
+        HadoopConfig::default().with_reducers(3),
+        2,
+    )];
+    let topo = Topology::star(8, 1e9);
+    let comparison_json = |parallelism: usize, full_recompute: bool| -> String {
+        let runner = Runner::new(ClusterSpec::racks(2, 3));
+        let results = runner.run_matrix(&cells, parallelism);
+        let model = results[0].model.as_ref().expect("cell fits a model");
+        let opts = SimOptions {
+            full_recompute,
+            ..SimOptions::default()
+        };
+        let jobs = model.generate_jobs(2, 11, 5.0);
+        let open = replay_jobs(&jobs, &topo, opts).expect("open replay");
+        let closed = replay_model_closed(model, &topo, 2, 11, 5.0, opts).expect("closed replay");
+        let rows = compare_replays(&open, &closed).expect("comparable components");
+        serde_json::to_string(&rows).expect("comparison serializes")
+    };
+    let base = comparison_json(1, false);
+    assert!(base.contains("ks_statistic"), "comparison is non-trivial");
+    assert_eq!(base, comparison_json(4, false), "width changes nothing");
+    assert_eq!(
+        base,
+        comparison_json(1, true),
+        "full-recompute oracle is byte-identical to the incremental path"
+    );
+    assert_eq!(base, comparison_json(4, true), "oracle at width 4");
+}
+
+#[test]
 fn trace_serialization_is_stable() {
     let cluster = ClusterSpec::racks(1, 4);
     let config = HadoopConfig::default().with_reducers(2);

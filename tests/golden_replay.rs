@@ -1,0 +1,150 @@
+//! Golden-trace regression corpus: three small capture fixtures (one
+//! per workload family) replayed open- and closed-loop, with
+//! per-component FCT summaries pinned to exact nanosecond values.
+//!
+//! The pins freeze the replay engine's externally visible arithmetic:
+//! any change to routing, fair sharing (incremental or not), drain
+//! order or completion prediction that shifts a single flow's finish
+//! time by one nanosecond fails here. Regenerate the fixtures with
+//! `keddah capture` (workload/seed in each fixture's name) and re-pin
+//! only when the engine's semantics intentionally change.
+
+use keddah::core::replay::{replay_trace, replay_trace_closed, ReplayReport};
+use keddah::flowcap::Trace;
+use keddah::netsim::{SimOptions, Topology};
+
+fn fixture(name: &str) -> Trace {
+    let path = format!("{}/tests/fixtures/{name}.jsonl", env!("CARGO_MANIFEST_DIR"));
+    let data = std::fs::read(&path).expect("fixture exists");
+    Trace::read_jsonl(&data[..]).expect("fixture parses")
+}
+
+/// The corpus fabric: 9 hosts over 3 racks, 2:1 oversubscribed — big
+/// enough for the 7-node captures, small enough that replays contend.
+fn fabric() -> Topology {
+    Topology::leaf_spine(3, 3, 2, 1e9, 2.0)
+}
+
+fn options() -> SimOptions {
+    SimOptions {
+        mouse_threshold: 10_000,
+        ..SimOptions::default()
+    }
+}
+
+/// Per-component FCT summary rows: (component tag, flow count, summed
+/// FCT nanos, max FCT nanos), sorted by tag.
+fn summarize(report: &ReplayReport) -> Vec<(u32, u64, u64, u64)> {
+    use std::collections::BTreeMap;
+    let mut by_tag: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+    for r in &report.sim.results {
+        let fct = r.fct().as_nanos();
+        let e = by_tag.entry(r.spec.tag).or_default();
+        e.0 += 1;
+        e.1 += fct;
+        e.2 = e.2.max(fct);
+    }
+    by_tag
+        .into_iter()
+        .map(|(tag, (count, sum, max))| (tag, count, sum, max))
+        .collect()
+}
+
+/// Replays `name` both ways and checks the pinned summaries; also
+/// verifies the full-recompute oracle reproduces them bit-for-bit.
+fn check(name: &str, open_pins: &[(u32, u64, u64, u64)], closed_pins: &[(u32, u64, u64, u64)]) {
+    let trace = fixture(name);
+    let topo = fabric();
+    for full_recompute in [false, true] {
+        let opts = SimOptions {
+            full_recompute,
+            ..options()
+        };
+        let open = replay_trace(&trace, &topo, opts).expect("open replay");
+        assert_eq!(
+            summarize(&open),
+            open_pins,
+            "{name} open loop (full_recompute={full_recompute})"
+        );
+        let closed = replay_trace_closed(&trace, &topo, opts).expect("closed replay");
+        assert_eq!(
+            summarize(&closed),
+            closed_pins,
+            "{name} closed loop (full_recompute={full_recompute})"
+        );
+    }
+}
+
+// Pins: (component tag, flows, summed FCT nanos, max FCT nanos). Tags
+// follow `flowcap::Component` discriminants (0 = input, 1 = shuffle,
+// 2 = output, 3 = control).
+
+const TERASORT_OPEN: &[(u32, u64, u64, u64)] = &[
+    (1, 18, 41_072_804_258, 3_560_876_638),
+    (2, 17, 44_071_726_817, 3_774_969_558),
+    (3, 221, 24_191_957, 119_200),
+];
+const TERASORT_CLOSED: &[(u32, u64, u64, u64)] = &[
+    (1, 18, 42_391_865_317, 5_118_895_787),
+    (2, 17, 44_071_726_817, 3_774_969_558),
+    (3, 221, 24_191_957, 119_200),
+];
+
+const WORDCOUNT_OPEN: &[(u32, u64, u64, u64)] = &[
+    (1, 6, 2_778_650_774, 636_939_755),
+    (2, 15, 2_676_047_661, 289_064_939),
+    (3, 96, 10_427_798, 114_400),
+];
+const WORDCOUNT_CLOSED: &[(u32, u64, u64, u64)] = &[
+    (1, 6, 3_073_585_870, 754_514_472),
+    (2, 15, 2_676_047_661, 289_064_939),
+    (3, 96, 10_427_798, 114_400),
+];
+
+const PAGERANK_OPEN: &[(u32, u64, u64, u64)] = &[
+    (0, 1, 1_073_842_848, 1_073_842_848),
+    (1, 46, 89_823_944_154, 4_995_344_557),
+    (2, 64, 175_682_665_499, 5_756_558_498),
+    (3, 615, 67_287_595, 119_200),
+];
+const PAGERANK_CLOSED: &[(u32, u64, u64, u64)] = &[
+    (0, 1, 1_073_842_848, 1_073_842_848),
+    (1, 46, 98_754_582_245, 5_157_766_452),
+    (2, 64, 176_287_325_182, 5_756_558_498),
+    (3, 615, 67_287_595, 119_200),
+];
+
+#[test]
+fn terasort_replay_matches_golden() {
+    check("terasort", TERASORT_OPEN, TERASORT_CLOSED);
+}
+
+#[test]
+fn wordcount_replay_matches_golden() {
+    check("wordcount", WORDCOUNT_OPEN, WORDCOUNT_CLOSED);
+}
+
+#[test]
+fn pagerank_replay_matches_golden() {
+    check("pagerank", PAGERANK_OPEN, PAGERANK_CLOSED);
+}
+
+#[test]
+fn closed_loop_defers_dependent_components() {
+    // Sanity on the corpus itself: closed-loop shuffle FCTs must be no
+    // smaller in aggregate than open-loop (dependents wait for their
+    // parents), and non-dependent components identical — the structural
+    // reason the open/closed pins differ only where they do.
+    for (open, closed) in [
+        (TERASORT_OPEN, TERASORT_CLOSED),
+        (WORDCOUNT_OPEN, WORDCOUNT_CLOSED),
+        (PAGERANK_OPEN, PAGERANK_CLOSED),
+    ] {
+        assert_eq!(open.len(), closed.len());
+        for (o, c) in open.iter().zip(closed) {
+            assert_eq!(o.0, c.0, "same components");
+            assert_eq!(o.1, c.1, "same flow counts");
+            assert!(c.2 >= o.2, "closed loop never speeds up component {}", o.0);
+        }
+    }
+}

@@ -160,6 +160,58 @@ proptest! {
         }
     }
 
+    /// The incremental allocator is bitwise-equivalent to from-scratch
+    /// progressive filling after every insert/remove, on arbitrary
+    /// topologies and mutation orders — including local flows (empty
+    /// link lists) and flows crossing the same link twice.
+    #[test]
+    fn incremental_fair_share_matches_full(
+        caps in prop::collection::vec(1.0f64..1e9, 1..12),
+        ops in prop::collection::vec(
+            (0u32..4, prop::collection::vec(0u32..12, 0..4), 0usize..8),
+            1..60
+        ),
+    ) {
+        use keddah::netsim::fair::{max_min_rates, FairShareState};
+
+        let mut state = FairShareState::new(caps.clone(), 1e10);
+        // Live flows in handle order, mirroring the state's bookkeeping.
+        let mut live: Vec<(keddah::netsim::fair::FairFlowId, Vec<u32>)> = Vec::new();
+        for (action, raw_links, pick) in ops {
+            let mut links: Vec<u32> =
+                raw_links.iter().map(|&l| l % caps.len() as u32).collect();
+            if action == 3 {
+                // Force a double crossing of one link.
+                if let Some(&first) = links.first() {
+                    links = vec![first, first];
+                }
+            }
+            if action == 0 && !live.is_empty() {
+                let (id, _) = live.remove(pick % live.len());
+                state.remove_flow(id);
+            } else {
+                let id = state.insert_flow(&links);
+                live.push((id, links));
+            }
+
+            // Shadow solve from scratch over the surviving flows.
+            live.sort_by_key(|&(id, _)| id);
+            let flow_links: Vec<Vec<u32>> =
+                live.iter().map(|(_, l)| l.clone()).collect();
+            let want = max_min_rates(&flow_links, &caps, 1e10);
+            let got = state.rates();
+            prop_assert_eq!(got.len(), want.len());
+            for (k, (&(id, _), &w)) in live.iter().zip(&want).enumerate() {
+                let (gid, g) = got[k];
+                prop_assert_eq!(gid, id);
+                prop_assert_eq!(
+                    g.to_bits(), w.to_bits(),
+                    "flow {:?}: incremental {} != full {}", id, g, w
+                );
+            }
+        }
+    }
+
     /// Timeline binning conserves every byte it is given.
     #[test]
     fn timeline_conserves_bytes(

@@ -1,0 +1,146 @@
+//! Hygiene checks on `*.proptest-regressions` seed files.
+//!
+//! Regression files accumulate shrunk failure seeds over time; nothing
+//! in proptest itself notices when a seed goes stale (its test renamed
+//! or a variable dropped) or gets committed twice after a rebase. This
+//! test fails CI when a regression file drifts out of sync with the
+//! test source it belongs to:
+//!
+//! * every `cc` entry's hash is unique within its file;
+//! * every entry's shrunk variables name parameters that still exist in
+//!   some `proptest!` test of the matching `.rs` file;
+//! * no regression file exists without its `.rs` companion.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn tests_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests")
+}
+
+/// Parameter names declared as `<ident> in <strategy>` across every
+/// `proptest!` body of `source` — the only names a shrunk seed can bind.
+fn proptest_params(source: &str) -> HashSet<String> {
+    let mut params = HashSet::new();
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        if let Some((name, _)) = trimmed.split_once(" in ") {
+            if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                params.insert(name.to_string());
+            }
+        }
+    }
+    params
+}
+
+/// The shrunk variable names of one `cc <hash> # shrinks to a = .., b = ..`
+/// entry. Values can contain `, ` and `=` freely, so only `ident = `
+/// tokens that parse as identifiers count.
+fn shrunk_vars(entry: &str) -> Vec<String> {
+    let Some((_, bindings)) = entry.split_once("# shrinks to ") else {
+        return Vec::new();
+    };
+    let mut vars = Vec::new();
+    for piece in bindings.split(", ") {
+        if let Some((name, _)) = piece.split_once(" = ") {
+            if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                vars.push(name.to_string());
+            }
+        }
+    }
+    vars
+}
+
+#[test]
+fn regression_files_match_their_tests() {
+    let dir = tests_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("proptest-regressions") {
+            continue;
+        }
+        checked += 1;
+        let source_path = path.with_extension("rs");
+        assert!(
+            source_path.exists(),
+            "{} has no matching test source {}",
+            path.display(),
+            source_path.display()
+        );
+        let source = std::fs::read_to_string(&source_path).expect("test source reads");
+        let params = proptest_params(&source);
+        assert!(
+            !params.is_empty(),
+            "{} declares no proptest parameters but has a regression file",
+            source_path.display()
+        );
+
+        let seeds = std::fs::read_to_string(&path).expect("regression file reads");
+        let mut hashes = HashSet::new();
+        for (lineno, line) in seeds.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some(rest) = line.strip_prefix("cc ") else {
+                panic!(
+                    "{}:{}: unrecognized line {line:?}",
+                    path.display(),
+                    lineno + 1
+                );
+            };
+            let hash = rest.split_whitespace().next().unwrap_or_default();
+            assert!(
+                hash.len() == 64 && hash.chars().all(|c| c.is_ascii_hexdigit()),
+                "{}:{}: malformed seed hash {hash:?}",
+                path.display(),
+                lineno + 1
+            );
+            assert!(
+                hashes.insert(hash.to_string()),
+                "{}:{}: duplicate seed {hash}",
+                path.display(),
+                lineno + 1
+            );
+            let vars = shrunk_vars(line);
+            assert!(
+                !vars.is_empty(),
+                "{}:{}: seed has no `# shrinks to` bindings — stale format?",
+                path.display(),
+                lineno + 1
+            );
+            for var in vars {
+                assert!(
+                    params.contains(&var),
+                    "{}:{}: shrunk variable `{var}` matches no proptest parameter in {} — \
+                     stale seed from a renamed or removed test",
+                    path.display(),
+                    lineno + 1,
+                    source_path.display()
+                );
+            }
+        }
+        assert!(
+            !hashes.is_empty(),
+            "{} contains no seeds — delete the file instead",
+            path.display()
+        );
+    }
+    assert!(
+        checked > 0,
+        "expected at least one regression file in {}",
+        dir.display()
+    );
+}
+
+#[test]
+fn parser_helpers_behave() {
+    let src = "proptest! {\n  fn t(\n    flows in vec(..),\n    caps in vec(..),\n  ) {}\n}";
+    let params = proptest_params(src);
+    assert!(params.contains("flows") && params.contains("caps"));
+
+    let vars = shrunk_vars("cc abc # shrinks to flows = [[4, 4]], caps = [1.0, 2.0]");
+    assert_eq!(vars, ["flows", "caps"]);
+    assert!(shrunk_vars("cc abc").is_empty());
+}

@@ -185,9 +185,7 @@ pub mod collection {
 /// The glob-import surface tests pull in via
 /// `use proptest::prelude::*;`.
 pub mod prelude {
-    pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy,
-    };
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 
     /// Mirror of upstream's `prop` re-export.
     pub mod prop {

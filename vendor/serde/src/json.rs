@@ -184,8 +184,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(self.error("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                             } else {
                                 char::from_u32(cp)
@@ -253,8 +252,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));

@@ -159,8 +159,7 @@ pub fn de_field<T: Deserialize>(
     name: &str,
     type_name: &str,
 ) -> Result<T, Error> {
-    T::from_value(get_field(entries, name))
-        .map_err(|e| e.in_field(&format!("{type_name}.{name}")))
+    T::from_value(get_field(entries, name)).map_err(|e| e.in_field(&format!("{type_name}.{name}")))
 }
 
 /// Splices an internal tag into a variant's serialized object — the

@@ -29,7 +29,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
 }
 
 // ---- input model ----
@@ -144,17 +146,16 @@ fn parse_attr_group(stream: &TokenStream, attrs: &mut SerdeAttrs) {
             panic!("serde derive: malformed #[serde(...)] attribute");
         };
         let key = key.to_string();
-        let value =
-            if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
-                let TokenTree::Literal(lit) = &args[i + 2] else {
-                    panic!("serde derive: expected string after `{key} =`");
-                };
-                i += 3;
-                Some(unquote(&lit.to_string()))
-            } else {
-                i += 1;
-                None
+        let value = if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            let TokenTree::Literal(lit) = &args[i + 2] else {
+                panic!("serde derive: expected string after `{key} =`");
             };
+            i += 3;
+            Some(unquote(&lit.to_string()))
+        } else {
+            i += 1;
+            None
+        };
         match (key.as_str(), value) {
             ("rename_all", Some(style)) => attrs.rename_all = Some(style),
             ("tag", Some(tag)) => attrs.tag = Some(tag),
@@ -321,7 +322,10 @@ fn gen_serialize(item: &Item) -> String {
                         )
                     })
                     .collect();
-                format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
             }
         }
         Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
@@ -393,7 +397,10 @@ fn gen_serialize_enum(item: &Item, variants: &[Variant]) -> String {
                         )
                     })
                     .collect();
-                let obj = format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "));
+                let obj = format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                );
                 match tag {
                     Some(tag) => format!(
                         "{name}::{vname} {{ {binds} }} => \
@@ -437,9 +444,9 @@ fn gen_deserialize(item: &Item) -> String {
                 )
             }
         }
-        Data::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Data::TupleStruct(n) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
@@ -588,9 +595,7 @@ fn gen_deserialize_external_enum(item: &Item, variants: &[Variant]) -> String {
         )
     };
     let keyed_match = if keyed_arms.is_empty() {
-        format!(
-            "::std::result::Result::Err(::serde::Error::expected(\"{name} (string)\", v))"
-        )
+        format!("::std::result::Result::Err(::serde::Error::expected(\"{name} (string)\", v))")
     } else {
         format!(
             "let entries = v.as_object().ok_or_else(|| \
