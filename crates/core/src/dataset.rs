@@ -153,6 +153,7 @@ mod tests {
                 block_bytes: 128 << 20,
                 nodes: 8,
                 seed: 0,
+                counters: None,
             },
             flows,
         )

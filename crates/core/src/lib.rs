@@ -61,6 +61,7 @@ pub mod validate;
 pub use dataset::Dataset;
 pub use family::ModelFamily;
 pub use generate::{GenFlow, GeneratedJob};
+pub use keddah_faults::{FaultGen, FaultKind, FaultSpec, TimedFault};
 pub use mix::{JobMix, MixEntry};
 pub use model::KeddahModel;
 pub use pipeline::Keddah;
@@ -91,6 +92,8 @@ pub enum CoreError {
     },
     /// Model (de)serialization failed.
     Json(String),
+    /// A fault schedule failed validation against the replay target.
+    Fault(String),
 }
 
 impl fmt::Display for CoreError {
@@ -103,6 +106,7 @@ impl fmt::Display for CoreError {
                 "topology too small: traffic references host {needed} but only {available} hosts exist"
             ),
             CoreError::Json(msg) => write!(f, "model serialization error: {msg}"),
+            CoreError::Fault(msg) => write!(f, "fault schedule error: {msg}"),
         }
     }
 }

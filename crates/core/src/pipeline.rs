@@ -11,10 +11,15 @@ use keddah_hadoop::{
 };
 use keddah_netsim::{SimOptions, Topology};
 
+use keddah_faults::FaultSpec;
+
 use crate::dataset::Dataset;
 use crate::fitting::fit_model;
 use crate::model::KeddahModel;
-use crate::replay::{replay_model_closed, replay_trace, replay_trace_closed, ReplayReport};
+use crate::replay::{
+    replay_model_closed, replay_model_closed_faulted, replay_trace, replay_trace_closed,
+    replay_trace_closed_faulted, replay_trace_faulted, ReplayReport,
+};
 use crate::validate::{validate_model, ValidationReport};
 use crate::Result;
 
@@ -163,6 +168,48 @@ impl Keddah {
         options: SimOptions,
     ) -> Result<ReplayReport> {
         replay_model_closed(model, topo, n_jobs, seed, stagger_secs, options)
+    }
+
+    /// Degraded-mode [`Keddah::replay`]: the same replay disciplines with
+    /// a fault schedule injected as DES events (node crashes abort flows,
+    /// link faults re-route or degrade them; see
+    /// [`keddah_netsim::simulate_faulted`]). An empty spec reproduces the
+    /// fault-free replay byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::replay::replay_trace_faulted`] /
+    /// [`crate::replay::replay_trace_closed_faulted`].
+    pub fn replay_faulted(
+        trace: &Trace,
+        topo: &Topology,
+        options: SimOptions,
+        closed_loop: bool,
+        spec: &FaultSpec,
+    ) -> Result<ReplayReport> {
+        if closed_loop {
+            replay_trace_closed_faulted(trace, topo, spec, options)
+        } else {
+            replay_trace_faulted(trace, topo, spec, options)
+        }
+    }
+
+    /// Degraded-mode [`Keddah::replay_model`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::replay::replay_model_closed_faulted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_model_faulted(
+        model: &KeddahModel,
+        topo: &Topology,
+        n_jobs: u32,
+        seed: u64,
+        stagger_secs: f64,
+        options: SimOptions,
+        spec: &FaultSpec,
+    ) -> Result<ReplayReport> {
+        replay_model_closed_faulted(model, topo, n_jobs, seed, stagger_secs, spec, options)
     }
 }
 

@@ -16,13 +16,22 @@
 //!   write-pipeline hops after their upstream hop) are released only when
 //!   their parents complete *in the simulation*, so congestion propagates
 //!   through the job's causal structure. See [`crate::source`].
+//!
+//! Every discipline has a `*_faulted` variant taking a
+//! [`keddah_faults::FaultSpec`]: the schedule is validated against the
+//! topology and injected as DES events (crashes abort flows, link faults
+//! re-route or degrade them — see [`keddah_netsim::simulate_faulted`]).
+//! Aborted flows are excluded from the per-component FCT samples; an
+//! empty spec is byte-identical to the fault-free entry points.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use keddah_des::SimTime;
+use keddah_faults::{FaultSchedule, FaultSpec};
 use keddah_flowcap::{Component, Trace};
 use keddah_netsim::{
-    simulate, simulate_source, FlowSpec, HostId, SimOptions, SimReport, Topology, TrafficSource,
+    simulate, simulate_faulted, simulate_source, FlowSpec, HostId, SimOptions, SimReport,
+    StaticSource, Topology, TrafficSource,
 };
 
 use crate::generate::GeneratedJob;
@@ -130,10 +139,17 @@ fn check_host(node: u32, topo: &Topology) -> Result<()> {
     Ok(())
 }
 
-/// Splits a finished simulation's completions by component.
+/// Splits a finished simulation's completions by component. Flows the
+/// fault layer aborted never completed — their recorded "finish" is the
+/// abort time — so they are excluded from the FCT samples (with no
+/// faults the aborted set is empty and every flow contributes).
 fn split_report(sim: SimReport) -> ReplayReport {
+    let aborted: HashSet<usize> = sim.faults.aborted.iter().copied().collect();
     let mut fct_by_component: BTreeMap<Component, Vec<f64>> = BTreeMap::new();
-    for r in &sim.results {
+    for (id, r) in sim.results.iter().enumerate() {
+        if aborted.contains(&id) {
+            continue;
+        }
         fct_by_component
             .entry(component_of(r.spec.tag))
             .or_default()
@@ -143,6 +159,14 @@ fn split_report(sim: SimReport) -> ReplayReport {
         fct_by_component,
         sim,
     }
+}
+
+/// Validates a fault spec against a replay topology and compiles it to
+/// the schedule the simulator consumes.
+fn compile_spec(spec: &FaultSpec, topo: &Topology) -> Result<FaultSchedule> {
+    spec.validate(topo.host_count(), topo.link_count() as u32)
+        .map_err(|e| CoreError::Fault(e.to_string()))?;
+    Ok(spec.schedule())
 }
 
 /// Replays flow specs on a topology and splits completions by component
@@ -206,6 +230,99 @@ pub fn replay_model_closed(
 pub fn replay_trace(trace: &Trace, topo: &Topology, options: SimOptions) -> Result<ReplayReport> {
     let flows = trace_to_flows(trace, topo)?;
     Ok(replay(topo, &flows, options))
+}
+
+/// Open-loop replay under a fault schedule: flows start at their
+/// pre-computed times, and the schedule's faults fire as DES events that
+/// abort or re-route them. An empty spec is byte-identical to [`replay`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Fault`] if the spec references hosts or links
+/// outside the topology.
+pub fn replay_faulted(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    spec: &FaultSpec,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let schedule = compile_spec(spec, topo)?;
+    let mut source = StaticSource::new(flows.to_vec());
+    Ok(split_report(simulate_faulted(
+        topo,
+        &mut source,
+        &schedule,
+        options,
+    )))
+}
+
+/// Closed-loop replay of a reactive source under a fault schedule. The
+/// source additionally hears [`TrafficSource::on_flow_aborted`] for every
+/// flow a fault kills.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Fault`] if the spec references hosts or links
+/// outside the topology.
+pub fn replay_source_faulted(
+    topo: &Topology,
+    source: &mut dyn TrafficSource,
+    spec: &FaultSpec,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let schedule = compile_spec(spec, topo)?;
+    Ok(split_report(simulate_faulted(
+        topo, source, &schedule, options,
+    )))
+}
+
+/// Faulted variant of [`replay_trace`] (open loop).
+///
+/// # Errors
+///
+/// As [`trace_to_flows`] and [`replay_faulted`].
+pub fn replay_trace_faulted(
+    trace: &Trace,
+    topo: &Topology,
+    spec: &FaultSpec,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let flows = trace_to_flows(trace, topo)?;
+    replay_faulted(topo, &flows, spec, options)
+}
+
+/// Faulted variant of [`replay_trace_closed`].
+///
+/// # Errors
+///
+/// As [`TraceSource::new`] and [`replay_source_faulted`].
+pub fn replay_trace_closed_faulted(
+    trace: &Trace,
+    topo: &Topology,
+    spec: &FaultSpec,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let mut source = TraceSource::new(trace, topo)?;
+    replay_source_faulted(topo, &mut source, spec, options)
+}
+
+/// Faulted variant of [`replay_model_closed`].
+///
+/// # Errors
+///
+/// As [`ModelSource::new`] and [`replay_source_faulted`].
+#[allow(clippy::too_many_arguments)]
+pub fn replay_model_closed_faulted(
+    model: &KeddahModel,
+    topo: &Topology,
+    n_jobs: u32,
+    seed: u64,
+    stagger_secs: f64,
+    spec: &FaultSpec,
+    options: SimOptions,
+) -> Result<ReplayReport> {
+    let mut source = ModelSource::new(model, n_jobs, seed, stagger_secs, topo)?;
+    replay_source_faulted(topo, &mut source, spec, options)
 }
 
 /// Convenience: replay generated jobs end to end.
@@ -273,6 +390,52 @@ mod tests {
         for &c in Component::ALL {
             assert_eq!(component_of(tag_of(c)), c);
         }
+    }
+
+    #[test]
+    fn empty_fault_spec_matches_plain_replay() {
+        let topo = Topology::star(5, 1e9);
+        let flows = jobs_to_flows(&[job()], &topo).unwrap();
+        let plain = replay(&topo, &flows, SimOptions::default());
+        let faulted = replay_faulted(&topo, &flows, &FaultSpec::empty(), SimOptions::default())
+            .expect("empty spec is always valid");
+        assert_eq!(plain.fct_by_component, faulted.fct_by_component);
+        assert_eq!(plain.sim.makespan(), faulted.sim.makespan());
+        assert!(faulted.sim.faults.aborted.is_empty());
+    }
+
+    #[test]
+    fn aborted_flows_are_excluded_from_fct_samples() {
+        use keddah_faults::{FaultKind, TimedFault};
+        let topo = Topology::star(5, 1e9);
+        let flows = jobs_to_flows(&[job()], &topo).unwrap();
+        // Crash host 2 mid-shuffle: the 1 MiB shuffle flow (host 1 → 2,
+        // ~8.4 ms alone) dies; the control flow is untouched.
+        let spec = FaultSpec {
+            faults: vec![TimedFault {
+                at_nanos: 1_000_000,
+                kind: FaultKind::NodeCrash { node: 2 },
+            }],
+        };
+        let report = replay_faulted(&topo, &flows, &spec, SimOptions::default()).unwrap();
+        assert_eq!(report.sim.faults.aborted.len(), 1);
+        assert!(!report.fct_by_component.contains_key(&Component::Shuffle));
+        assert_eq!(report.fct_by_component[&Component::Control].len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_fault_rejected() {
+        use keddah_faults::{FaultKind, TimedFault};
+        let topo = Topology::star(3, 1e9);
+        let spec = FaultSpec {
+            faults: vec![TimedFault {
+                at_nanos: 0,
+                kind: FaultKind::NodeCrash { node: 99 },
+            }],
+        };
+        let err = replay_faulted(&topo, &[], &spec, SimOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Fault(_)));
+        assert!(err.to_string().contains("fault schedule"));
     }
 
     #[test]

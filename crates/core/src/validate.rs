@@ -245,6 +245,7 @@ mod tests {
                 block_bytes: 128 << 20,
                 nodes: 8,
                 seed,
+                counters: None,
             },
             flows,
         )

@@ -12,7 +12,7 @@ use keddah_des::{Duration, SimTime};
 
 /// Metadata describing how a trace was captured: the covariates Keddah's
 /// models condition on.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Deserialize)]
 pub struct TraceMeta {
     /// Workload name (e.g. `"terasort"`).
     pub workload: String,
@@ -28,6 +28,34 @@ pub struct TraceMeta {
     pub nodes: u32,
     /// Seed the capture run used (for reproducibility bookkeeping).
     pub seed: u64,
+    /// Simulator ground-truth counters for the run (name → value), when
+    /// the capturing driver recorded them — faulted captures carry their
+    /// failure/re-replication counters here. Absent in older traces and
+    /// fault-free captures; the field serializes only when present, so
+    /// clean traces keep their historical byte layout.
+    pub counters: Option<std::collections::BTreeMap<String, u64>>,
+}
+
+// Manual impl rather than derive: `counters` must vanish from the JSON
+// when `None` (the vendored serde derive has no `skip_serializing_if`),
+// keeping fault-free captures byte-identical to pre-fault-subsystem
+// traces.
+impl Serialize for TraceMeta {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("workload".to_string(), self.workload.to_value()),
+            ("input_bytes".to_string(), self.input_bytes.to_value()),
+            ("reducers".to_string(), self.reducers.to_value()),
+            ("replication".to_string(), self.replication.to_value()),
+            ("block_bytes".to_string(), self.block_bytes.to_value()),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        if let Some(counters) = &self.counters {
+            entries.push(("counters".to_string(), counters.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
 }
 
 /// A capture artefact: labelled flows plus capture metadata.
@@ -294,6 +322,7 @@ mod tests {
                 block_bytes: 128 << 20,
                 nodes: 16,
                 seed: 1,
+                counters: None,
             },
             vec![
                 flow(0, ports::DATANODE_XFER, 100, 1 << 20), // read

@@ -6,6 +6,7 @@
 //! Keddah modelling step consumes.
 
 use keddah_des::Duration;
+use keddah_faults::FaultSpec;
 use keddah_flowcap::{FlowAssembler, Trace, TraceMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,7 +14,7 @@ use rand::SeedableRng;
 use crate::cluster::ClusterSpec;
 use crate::config::HadoopConfig;
 use crate::net::NetModel;
-use crate::sim::{simulate_job, JobCounters};
+use crate::sim::{node_faults, simulate_job_at_faulted, JobCounters};
 use crate::workload::JobSpec;
 
 /// The result of one simulated job execution.
@@ -70,12 +71,64 @@ pub fn run_job_with_packets(
     job: &JobSpec,
     seed: u64,
 ) -> (JobRun, Vec<keddah_flowcap::PacketRecord>) {
+    run_job_with_packets_faulted(cluster, config, job, seed, &FaultSpec::empty())
+}
+
+/// [`run_job`] under a fault schedule: worker crashes and recoveries in
+/// `faults` degrade the job (killed attempts, shuffle re-fetch, reducer
+/// restarts) and trigger HDFS re-replication traffic. With an empty
+/// spec this is exactly [`run_job`] — the clean path draws the same RNG
+/// sequence and captures an identical trace.
+///
+/// Link-level faults in the spec are ignored here: the capture side has
+/// no network topology. They apply when the trace is replayed through
+/// `keddah-netsim`.
+///
+/// # Panics
+///
+/// As [`run_job`].
+#[must_use]
+pub fn run_job_faulted(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    job: &JobSpec,
+    seed: u64,
+    faults: &FaultSpec,
+) -> JobRun {
+    run_job_with_packets_faulted(cluster, config, job, seed, faults).0
+}
+
+/// [`run_job_faulted`] also returning the raw packet capture — the
+/// faulted sibling of [`run_job_with_packets`].
+///
+/// # Panics
+///
+/// As [`run_job`].
+#[must_use]
+pub fn run_job_with_packets_faulted(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    job: &JobSpec,
+    seed: u64,
+    faults: &FaultSpec,
+) -> (JobRun, Vec<keddah_flowcap::PacketRecord>) {
     cluster.validate().expect("invalid cluster spec");
     config.validate().expect("invalid hadoop config");
+    let timeline = node_faults(faults, cluster.worker_count());
     let mut net = NetModel::new(cluster.nic_bps);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut counters = JobCounters::default();
-    let end = simulate_job(cluster, config, job, &mut net, &mut rng, &mut counters);
+    let (end, _output) = simulate_job_at_faulted(
+        cluster,
+        config,
+        job,
+        &mut net,
+        &mut rng,
+        &mut counters,
+        keddah_des::SimTime::ZERO,
+        None,
+        &timeline,
+    );
     let packets = net.take_packets();
 
     let mut assembler = FlowAssembler::new();
@@ -89,6 +142,9 @@ pub fn run_job_with_packets(
         block_bytes: config.block_bytes,
         nodes: cluster.worker_count(),
         seed,
+        // Faulted captures embed their ground-truth counters; clean
+        // captures keep the historical (counter-free) byte layout.
+        counters: (!faults.is_empty()).then(|| counters.to_map()),
     };
     let mut trace = Trace::new(meta, flows);
     trace.classify();
@@ -192,6 +248,7 @@ pub fn run_session(
         block_bytes: config.block_bytes,
         nodes: cluster.worker_count(),
         seed,
+        counters: None,
     };
     let mut trace = Trace::new(meta, flows);
     trace.classify();

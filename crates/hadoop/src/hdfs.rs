@@ -180,6 +180,96 @@ impl Hdfs {
         }
         targets
     }
+
+    /// [`pipeline_targets`](Self::pipeline_targets) restricted to live
+    /// nodes: workers in `down` never enter the pipeline (a dead
+    /// DataNode cannot receive a replica). With fewer live workers than
+    /// `replication`, the pipeline is silently shorter — HDFS likewise
+    /// under-replicates until nodes return.
+    ///
+    /// With an empty `down` set this delegates to the unrestricted
+    /// version, drawing the identical RNG sequence — fault-free runs are
+    /// byte-for-byte unchanged.
+    #[must_use]
+    pub fn pipeline_targets_avoiding(
+        &self,
+        writer: NodeId,
+        replication: u16,
+        rng: &mut StdRng,
+        down: &std::collections::HashSet<NodeId>,
+    ) -> Vec<NodeId> {
+        if down.is_empty() {
+            return self.pipeline_targets(writer, replication, rng);
+        }
+        let worker_count = self.cluster.worker_count();
+        let live: Vec<NodeId> = self
+            .cluster
+            .workers()
+            .filter(|w| !down.contains(w))
+            .collect();
+        let writer_is_live_worker =
+            writer.0 >= 1 && writer.0 <= worker_count && !down.contains(&writer);
+        let first = if writer_is_live_worker {
+            writer
+        } else {
+            match live.as_slice().choose(rng) {
+                Some(&n) => n,
+                None => return Vec::new(), // whole cluster down
+            }
+        };
+        let mut targets = vec![first];
+        let replication = (replication as usize).min(live.len());
+        if replication <= 1 {
+            return targets;
+        }
+        // Second replica: a live node on a different rack if one exists.
+        let first_rack = self.cluster.rack_of(first);
+        let off_rack: Vec<NodeId> = live
+            .iter()
+            .copied()
+            .filter(|&w| self.cluster.rack_of(w) != first_rack)
+            .collect();
+        let second = match off_rack.as_slice().choose(rng) {
+            Some(&n) => n,
+            None => {
+                let others: Vec<NodeId> = live
+                    .iter()
+                    .copied()
+                    .filter(|w| !targets.contains(w))
+                    .collect();
+                match others.as_slice().choose(rng) {
+                    Some(&n) => n,
+                    None => return targets,
+                }
+            }
+        };
+        targets.push(second);
+        // Third and later replicas: the second's rack, else any live node.
+        while targets.len() < replication {
+            let second_rack = self.cluster.rack_of(second);
+            let rack_mates: Vec<NodeId> = self
+                .cluster
+                .rack_members(second_rack)
+                .filter(|w| !down.contains(w) && !targets.contains(w))
+                .collect();
+            let next = match rack_mates.as_slice().choose(rng) {
+                Some(&n) => n,
+                None => {
+                    let others: Vec<NodeId> = live
+                        .iter()
+                        .copied()
+                        .filter(|w| !targets.contains(w))
+                        .collect();
+                    match others.as_slice().choose(rng) {
+                        Some(&n) => n,
+                        None => break,
+                    }
+                }
+            };
+            targets.push(next);
+        }
+        targets
+    }
 }
 
 /// Picks any worker not already in `used` (seeded-random).

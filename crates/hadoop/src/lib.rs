@@ -41,7 +41,8 @@ mod workload;
 pub use cluster::ClusterSpec;
 pub use config::HadoopConfig;
 pub use driver::{
-    run_job, run_job_with_packets, run_repeats, run_repeats_seeded, run_session, JobRun, SessionRun,
+    run_job, run_job_faulted, run_job_with_packets, run_job_with_packets_faulted, run_repeats,
+    run_repeats_seeded, run_session, JobRun, SessionRun,
 };
 pub use sim::JobCounters;
 pub use workload::{JobSpec, Workload, WorkloadProfile};

@@ -20,11 +20,13 @@
 //! the original input (KMeans) or consuming the previous round's output
 //! (PageRank).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use keddah_des::{Duration, Engine, EventQueue, SimTime};
+use keddah_faults::{FaultKind, FaultSpec};
 use keddah_flowcap::{ports, NodeId};
 use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
 use rand::Rng;
 
 use crate::cluster::ClusterSpec;
@@ -41,6 +43,12 @@ const ROUND_GAP: Duration = Duration::from_secs(2);
 
 /// Smallest map output modelled (headers/metadata floor), bytes.
 const MIN_MAP_OUTPUT: u64 = 1024;
+
+/// Lag between a DataNode death and the NameNode commanding
+/// re-replication of its blocks (heartbeat expiry; real HDFS waits
+/// ~10.5 minutes by default, shortened here so the recovery traffic
+/// lands inside typical capture windows).
+const REREPLICATION_DELAY: Duration = Duration::from_secs(10);
 
 /// Execution counters for one simulated job (the simulator's ground
 /// truth, used to cross-check the capture pipeline in tests).
@@ -70,6 +78,104 @@ pub struct JobCounters {
     pub failed_map_attempts: u32,
     /// Speculative (backup) map attempts launched for stragglers.
     pub speculative_attempts: u32,
+    /// Worker crashes applied from a fault schedule during the job.
+    pub node_crashes: u32,
+    /// Task attempts (map or reduce) killed because their node crashed.
+    pub fault_killed_attempts: u32,
+    /// HDFS blocks re-replicated after losing a replica to a crash.
+    pub rereplicated_blocks: u32,
+    /// Bytes of re-replication (recovery pipeline) traffic.
+    pub rereplicated_bytes: u64,
+    /// Network flows carrying re-replication traffic.
+    pub rereplication_flows: u32,
+}
+
+impl JobCounters {
+    /// All counters as a name → value map (stable, sorted keys) — the
+    /// form embedded in trace metadata so captures carry their ground
+    /// truth along.
+    #[must_use]
+    pub fn to_map(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("maps".to_string(), u64::from(self.maps));
+        m.insert("local_maps".to_string(), u64::from(self.local_maps));
+        m.insert(
+            "rack_local_maps".to_string(),
+            u64::from(self.rack_local_maps),
+        );
+        m.insert("remote_maps".to_string(), u64::from(self.remote_maps));
+        m.insert("reducers".to_string(), u64::from(self.reducers));
+        m.insert("rounds".to_string(), u64::from(self.rounds));
+        m.insert("hdfs_read_bytes".to_string(), self.hdfs_read_bytes);
+        m.insert("shuffle_bytes".to_string(), self.shuffle_bytes);
+        m.insert("hdfs_write_bytes".to_string(), self.hdfs_write_bytes);
+        m.insert("local_fetches".to_string(), u64::from(self.local_fetches));
+        m.insert(
+            "failed_map_attempts".to_string(),
+            u64::from(self.failed_map_attempts),
+        );
+        m.insert(
+            "speculative_attempts".to_string(),
+            u64::from(self.speculative_attempts),
+        );
+        m.insert("node_crashes".to_string(), u64::from(self.node_crashes));
+        m.insert(
+            "fault_killed_attempts".to_string(),
+            u64::from(self.fault_killed_attempts),
+        );
+        m.insert(
+            "rereplicated_blocks".to_string(),
+            u64::from(self.rereplicated_blocks),
+        );
+        m.insert("rereplicated_bytes".to_string(), self.rereplicated_bytes);
+        m.insert(
+            "rereplication_flows".to_string(),
+            u64::from(self.rereplication_flows),
+        );
+        m
+    }
+}
+
+/// A node-level fault as the Hadoop layer sees it: a worker leaving
+/// (`down`) or rejoining the cluster at a fixed simulation time.
+///
+/// Link-level faults in a [`FaultSpec`] have no meaning at this layer
+/// (the capture side has no network topology) and are ignored here;
+/// they apply when the captured trace is replayed through `keddah-netsim`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeFault {
+    pub at: SimTime,
+    pub node: NodeId,
+    pub down: bool,
+}
+
+/// Extracts the time-ordered worker crash/recover events a fault spec
+/// holds for a cluster of `worker_count` workers. Events naming the
+/// master (node 0) or out-of-range nodes are dropped: losing the
+/// NameNode/ResourceManager kills the job rather than degrading it, and
+/// that failure mode is out of scope (see `DESIGN.md`).
+pub(crate) fn node_faults(spec: &FaultSpec, worker_count: u32) -> Vec<NodeFault> {
+    spec.schedule()
+        .events()
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            FaultKind::NodeCrash { node } if (1..=worker_count).contains(&node) => {
+                Some(NodeFault {
+                    at: ev.at(),
+                    node: NodeId(node),
+                    down: true,
+                })
+            }
+            FaultKind::NodeRecover { node } if (1..=worker_count).contains(&node) => {
+                Some(NodeFault {
+                    at: ev.at(),
+                    node: NodeId(node),
+                    down: false,
+                })
+            }
+            _ => None,
+        })
+        .collect()
 }
 
 /// A task's lifetime on a node, recorded for umbilical control traffic.
@@ -105,10 +211,19 @@ struct MapState {
 #[derive(Debug)]
 struct ReduceState {
     node: Option<NodeId>,
-    fetched: usize,
+    /// Which maps' partitions this attempt has fetched. A crash of a
+    /// serving node resets the task (fresh attempt, all-false again).
+    fetched_from: Vec<bool>,
     input_bytes: u64,
     compute_scheduled: bool,
     done: bool,
+    /// Attempt epoch: bumped when a node crash kills the task, so events
+    /// queued for the dead attempt are recognised as stale.
+    attempt: u32,
+    /// Index range of this attempt's uncommitted blocks in the round's
+    /// `output_blocks` (written at compute-done, committed at task end;
+    /// a crash in between discards them — Hadoop's output commit).
+    written: Option<(usize, usize)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -131,13 +246,23 @@ enum Event {
     },
     FetchDone {
         reduce: usize,
+        map: usize,
+        from: NodeId,
+        attempt: u32,
         bytes: u64,
     },
     ReduceComputeDone {
         reduce: usize,
+        attempt: u32,
     },
     ReduceDone {
         reduce: usize,
+        attempt: u32,
+    },
+    /// A scheduled node crash/recover (index into the round's fault
+    /// slice) reaching its firing time.
+    NodeFault {
+        idx: usize,
     },
 }
 
@@ -152,6 +277,15 @@ pub(crate) struct RoundSim<'a> {
     counters: &'a mut JobCounters,
     tasks: &'a mut Vec<TaskInterval>,
     am_node: NodeId,
+    /// The job's full node-fault timeline; this round schedules the
+    /// not-yet-applied tail (`fault_cursor..`) as DES events.
+    faults: &'a [NodeFault],
+    fault_cursor: &'a mut usize,
+    /// Workers currently dead, shared across rounds.
+    down: &'a mut HashSet<NodeId>,
+    /// Latest time real (non-fault) work happened; the round's end.
+    /// `engine.now()` would count ignored fault events queued past it.
+    round_end: SimTime,
 
     maps: Vec<MapState>,
     pending_maps: Vec<usize>,
@@ -180,6 +314,9 @@ impl<'a> RoundSim<'a> {
         tasks: &'a mut Vec<TaskInterval>,
         am_node: NodeId,
         input_blocks: Vec<Block>,
+        faults: &'a [NodeFault],
+        fault_cursor: &'a mut usize,
+        down: &'a mut HashSet<NodeId>,
     ) -> Self {
         let maps: Vec<MapState> = input_blocks
             .into_iter()
@@ -200,18 +337,22 @@ impl<'a> RoundSim<'a> {
         } else {
             config.reducers as usize
         };
+        let map_count = maps.len();
         let reducers: Vec<ReduceState> = (0..reducer_count)
             .map(|_| ReduceState {
                 node: None,
-                fetched: 0,
+                fetched_from: vec![false; map_count],
                 input_bytes: 0,
                 compute_scheduled: false,
                 done: false,
+                attempt: 0,
+                written: None,
             })
             .collect();
         let pending_reducers: Vec<usize> = (0..reducers.len()).collect();
         let free_slots = cluster
             .workers()
+            .filter(|w| !down.contains(w))
             .map(|w| (w, config.slots_per_node))
             .collect();
         RoundSim {
@@ -224,6 +365,10 @@ impl<'a> RoundSim<'a> {
             counters,
             tasks,
             am_node,
+            faults,
+            fault_cursor,
+            down,
+            round_end: SimTime::ZERO,
             maps,
             pending_maps,
             reducers,
@@ -252,33 +397,192 @@ impl<'a> RoundSim<'a> {
     /// engine-driven loop the replay simulator uses).
     pub(crate) fn run(mut self, start: SimTime) -> RoundResult {
         let mut engine: Engine<Event> = Engine::new();
+        self.round_end = start;
         engine.schedule(start, Event::Kick);
-        engine.run(|now, ev, queue| match ev {
-            Event::Kick => self.schedule_tasks(now, queue),
-            Event::MapDone { map, attempt } => self.on_map_done(map, attempt, now, queue),
-            Event::MapComputeDone { map, attempt } => {
-                self.on_map_compute_done(map, attempt, now, queue)
+        engine.run(|now, ev, queue| {
+            if !matches!(ev, Event::NodeFault { .. }) {
+                self.round_end = self.round_end.max(now);
             }
-            Event::MapFailed { map, attempt } => self.on_map_failed(map, attempt, now, queue),
-            Event::FetchDone { reduce, bytes } => self.on_fetch_done(reduce, bytes, now, queue),
-            Event::ReduceComputeDone { reduce } => self.on_reduce_compute_done(reduce, now, queue),
-            Event::ReduceDone { reduce } => self.on_reduce_done(reduce, now, queue),
+            match ev {
+                Event::Kick => {
+                    // Queue the not-yet-applied fault timeline; events
+                    // landing after the round's work finishes are ignored
+                    // (and re-queued by the next round, which reads the
+                    // shared cursor).
+                    for idx in *self.fault_cursor..self.faults.len() {
+                        queue.push(self.faults[idx].at.max(now), Event::NodeFault { idx });
+                    }
+                    self.schedule_tasks(now, queue);
+                }
+                Event::MapDone { map, attempt } => self.on_map_done(map, attempt, now, queue),
+                Event::MapComputeDone { map, attempt } => {
+                    self.on_map_compute_done(map, attempt, now, queue)
+                }
+                Event::MapFailed { map, attempt } => self.on_map_failed(map, attempt, now, queue),
+                Event::FetchDone {
+                    reduce,
+                    map,
+                    from,
+                    attempt,
+                    bytes,
+                } => self.on_fetch_done(reduce, map, from, attempt, bytes, now, queue),
+                Event::ReduceComputeDone { reduce, attempt } => {
+                    self.on_reduce_compute_done(reduce, attempt, now, queue)
+                }
+                Event::ReduceDone { reduce, attempt } => {
+                    self.on_reduce_done(reduce, attempt, now, queue)
+                }
+                Event::NodeFault { idx } => self.on_node_fault(idx, now, queue),
+            }
         });
-        let end = engine.now().max(start);
-        assert_eq!(
-            self.completed_maps,
-            self.maps.len(),
-            "round ended with unfinished maps"
-        );
-        assert_eq!(
-            self.completed_reducers,
-            self.reducers.len(),
-            "round ended with unfinished reducers"
-        );
+        let end = self.round_end.max(start);
+        if self.faults.is_empty() {
+            assert_eq!(
+                self.completed_maps,
+                self.maps.len(),
+                "round ended with unfinished maps"
+            );
+            assert_eq!(
+                self.completed_reducers,
+                self.reducers.len(),
+                "round ended with unfinished reducers"
+            );
+        }
+        // With faults, a round can strand work: if every surviving node
+        // is dead and no recovery is scheduled, the job hangs in reality
+        // too — the traffic captured up to the stall is the result.
         RoundResult {
             end,
             output_blocks: self.output_blocks,
         }
+    }
+
+    /// True once every map and reducer of the round has completed.
+    fn round_complete(&self) -> bool {
+        self.completed_maps == self.maps.len() && self.completed_reducers == self.reducers.len()
+    }
+
+    /// A scheduled crash/recover fires. Events are applied in timeline
+    /// order exactly once (the cursor is shared with the job level); an
+    /// event reaching a round whose work already finished is left for
+    /// the inter-round application pass.
+    fn on_node_fault(&mut self, idx: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        if idx != *self.fault_cursor || self.round_complete() {
+            return;
+        }
+        *self.fault_cursor += 1;
+        let fault = self.faults[idx];
+        if fault.down {
+            self.on_node_crash(fault.node, now, queue);
+        } else {
+            self.on_node_recover(fault.node, now, queue);
+        }
+    }
+
+    /// A worker dies mid-round: its slots vanish, running attempts are
+    /// killed, completed map output it was serving is invalidated for
+    /// reducers that had not fetched it yet, and its reducers restart
+    /// from scratch elsewhere.
+    fn on_node_crash(&mut self, n: NodeId, now: SimTime, queue: &mut EventQueue<Event>) {
+        if !self.down.insert(n) {
+            return;
+        }
+        self.free_slots.remove(&n);
+        // Kill running map attempts on the dead node. No blacklist and
+        // no slot release: the node is gone, and losing a node is not
+        // the task's fault.
+        for m in 0..self.maps.len() {
+            let victims: Vec<u32> = self.maps[m]
+                .running
+                .iter()
+                .filter(|&&(_, node)| node == n)
+                .map(|&(a, _)| a)
+                .collect();
+            for a in victims {
+                let pos = self.maps[m]
+                    .running
+                    .iter()
+                    .position(|&(x, _)| x == a)
+                    .expect("victim is running");
+                self.maps[m].running.remove(pos);
+                let task_start = self.map_starts[&(m, a)];
+                self.tasks.push(TaskInterval {
+                    node: n,
+                    start: task_start,
+                    end: now,
+                });
+                self.counters.fault_killed_attempts += 1;
+            }
+            if !self.maps[m].done
+                && self.maps[m].running.is_empty()
+                && !self.pending_maps.contains(&m)
+            {
+                self.pending_maps.push(m);
+            }
+        }
+        // Invalidate completed maps whose output lived on the dead node
+        // and is still needed by some reducer: the task re-executes and
+        // re-serves, exactly the recovery traffic Hadoop generates.
+        for m in 0..self.maps.len() {
+            if self.maps[m].done && self.maps[m].winner == Some(n) {
+                let needed = self.reducers.iter().any(|r| !r.done && !r.fetched_from[m]);
+                if needed {
+                    self.maps[m].done = false;
+                    self.maps[m].winner = None;
+                    self.maps[m].output_bytes = 0;
+                    self.maps[m].speculated = false;
+                    self.completed_maps -= 1;
+                    if self.maps[m].running.is_empty() && !self.pending_maps.contains(&m) {
+                        self.pending_maps.push(m);
+                    }
+                }
+            }
+        }
+        // Restart reducers that were running on the dead node: a fresh
+        // attempt re-fetches everything (shuffle re-fetch traffic).
+        for r in 0..self.reducers.len() {
+            if self.reducers[r].node == Some(n) && !self.reducers[r].done {
+                let task_start = self.reduce_starts[&r];
+                self.tasks.push(TaskInterval {
+                    node: n,
+                    start: task_start,
+                    end: now,
+                });
+                self.counters.fault_killed_attempts += 1;
+                // Discard blocks the dead attempt wrote but never
+                // committed, shifting later attempts' recorded ranges.
+                if let Some((w_start, w_count)) = self.reducers[r].written.take() {
+                    self.output_blocks.drain(w_start..w_start + w_count);
+                    for other in &mut self.reducers {
+                        if let Some((s, _)) = &mut other.written {
+                            if *s > w_start {
+                                *s -= w_count;
+                            }
+                        }
+                    }
+                }
+                let map_count = self.maps.len();
+                let state = &mut self.reducers[r];
+                state.node = None;
+                state.fetched_from = vec![false; map_count];
+                state.input_bytes = 0;
+                state.compute_scheduled = false;
+                state.attempt += 1;
+                self.running_reducers -= 1;
+                self.pending_reducers.push(r);
+            }
+        }
+        self.schedule_tasks(now, queue);
+    }
+
+    /// A worker rejoins: its slots come back and pending work may land
+    /// on it again.
+    fn on_node_recover(&mut self, n: NodeId, now: SimTime, queue: &mut EventQueue<Event>) {
+        if !self.down.remove(&n) {
+            return;
+        }
+        self.free_slots.insert(n, self.config.slots_per_node);
+        self.schedule_tasks(now, queue);
     }
 
     /// Greedy slot filler mirroring a capacity scheduler with delay
@@ -392,10 +696,30 @@ impl<'a> RoundSim<'a> {
                 300,
                 600,
             );
-            // Input: local disk or an HDFS read over the network.
-            let replica = {
+            // Input: local disk or an HDFS read over the network. With
+            // nodes down, only live replicas can serve; a block with no
+            // live replica at all reads as a local re-ingest (the data
+            // is gone — a real job would fail here, which is out of
+            // scope; see `DESIGN.md`).
+            let replica = if self.down.is_empty() {
                 let block = &self.maps[m].block;
                 self.hdfs.select_read_replica(block, node, self.rng)
+            } else {
+                let block = &self.maps[m].block;
+                let live = Block {
+                    bytes: block.bytes,
+                    replicas: block
+                        .replicas
+                        .iter()
+                        .copied()
+                        .filter(|r| !self.down.contains(r))
+                        .collect(),
+                };
+                if live.replicas.is_empty() {
+                    None
+                } else {
+                    self.hdfs.select_read_replica(&live, node, self.rng)
+                }
             };
             match replica {
                 None => {
@@ -457,16 +781,20 @@ impl<'a> RoundSim<'a> {
         queue: &mut EventQueue<Event>,
     ) {
         if self.maps[m].done {
-            self.retire_attempt(m, attempt, now);
+            self.try_retire_attempt(m, attempt, now);
             self.schedule_tasks(now, queue);
             return;
         }
-        let node = self.maps[m]
+        let Some(node) = self.maps[m]
             .running
             .iter()
             .find(|&&(a, _)| a == attempt)
             .map(|&(_, n)| n)
-            .expect("attempt is running");
+        else {
+            // The attempt was killed by a node crash after its compute
+            // event was queued; nothing to commit.
+            return;
+        };
         let out_noise = self.noise(0.2);
         let output = ((self.maps[m].block.bytes as f64 * self.profile.map_selectivity * out_noise)
             as u64)
@@ -480,14 +808,17 @@ impl<'a> RoundSim<'a> {
 
     /// Removes a finished/failed attempt from a map's running set,
     /// freeing its slot and logging its task interval. Returns the node
-    /// it ran on.
-    fn retire_attempt(&mut self, m: usize, attempt: u32, now: SimTime) -> NodeId {
-        let pos = self.maps[m]
-            .running
-            .iter()
-            .position(|&(a, _)| a == attempt)
-            .expect("attempt was running");
-        let (_, node) = self.maps[m].running.remove(pos);
+    /// it ran on, or `None` for a stale event whose attempt was already
+    /// killed (its node crashed): the event is simply ignored. An
+    /// attempt missing *without* faults in play would be a bookkeeping
+    /// bug, which the debug assertion catches.
+    fn try_retire_attempt(&mut self, m: usize, attempt: u32, now: SimTime) -> Option<NodeId> {
+        let pos = self.maps[m].running.iter().position(|&(a, _)| a == attempt);
+        debug_assert!(
+            pos.is_some() || !self.faults.is_empty(),
+            "map {m} attempt {attempt} vanished without a fault schedule"
+        );
+        let (_, node) = self.maps[m].running.remove(pos?);
         self.release_slot(node);
         let start = self.map_starts[&(m, attempt)];
         self.tasks.push(TaskInterval {
@@ -495,7 +826,7 @@ impl<'a> RoundSim<'a> {
             start,
             end: now,
         });
-        node
+        Some(node)
     }
 
     /// A map attempt died: free its slot and, unless the task already
@@ -510,7 +841,9 @@ impl<'a> RoundSim<'a> {
         now: SimTime,
         queue: &mut EventQueue<Event>,
     ) {
-        let node = self.retire_attempt(m, attempt, now);
+        let Some(node) = self.try_retire_attempt(m, attempt, now) else {
+            return;
+        };
         self.counters.failed_map_attempts += 1;
         if !self.maps[m].blacklist.contains(&node) {
             self.maps[m].blacklist.push(node);
@@ -522,7 +855,9 @@ impl<'a> RoundSim<'a> {
     }
 
     fn on_map_done(&mut self, m: usize, attempt: u32, now: SimTime, queue: &mut EventQueue<Event>) {
-        let node = self.retire_attempt(m, attempt, now);
+        let Some(node) = self.try_retire_attempt(m, attempt, now) else {
+            return;
+        };
         if self.maps[m].done {
             // A backup attempt finishing after the winner: the AM kills
             // it in real Hadoop; here it simply releases its slot.
@@ -546,9 +881,14 @@ impl<'a> RoundSim<'a> {
             self.reducers_released = true;
         }
 
-        // Running reducers fetch this map's output.
+        // Running reducers fetch this map's output. A re-executed map
+        // only re-serves reducers that had not fetched it before the
+        // original winner crashed; already-fetched copies survive.
         for r in 0..self.reducers.len() {
-            if self.reducers[r].node.is_some() && !self.reducers[r].done {
+            if self.reducers[r].node.is_some()
+                && !self.reducers[r].done
+                && !self.reducers[r].fetched_from[m]
+            {
                 self.start_fetch(r, m, now, queue);
             }
         }
@@ -613,6 +953,9 @@ impl<'a> RoundSim<'a> {
     /// output. Partition sizes split the map output across reducers with
     /// mild key-skew noise.
     fn start_fetch(&mut self, r: usize, m: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        if self.reducers[r].fetched_from[m] {
+            return;
+        }
         let base = self.maps[m].output_bytes / self.reducers.len() as u64;
         let skew = self.noise(0.8);
         let bytes = ((base as f64 * skew) as u64).max(64);
@@ -621,7 +964,7 @@ impl<'a> RoundSim<'a> {
         if map_node == reduce_node {
             // Local fetch: served from disk, invisible on the wire.
             self.counters.local_fetches += 1;
-            self.reducers[r].fetched += 1;
+            self.reducers[r].fetched_from[m] = true;
             self.reducers[r].input_bytes += bytes;
             self.check_reduce_ready(r, now, queue);
         } else {
@@ -634,12 +977,43 @@ impl<'a> RoundSim<'a> {
                 bytes,
                 Payload::ToClient,
             );
-            queue.push(finish, Event::FetchDone { reduce: r, bytes });
+            queue.push(
+                finish,
+                Event::FetchDone {
+                    reduce: r,
+                    map: m,
+                    from: map_node,
+                    attempt: self.reducers[r].attempt,
+                    bytes,
+                },
+            );
         }
     }
 
-    fn on_fetch_done(&mut self, r: usize, bytes: u64, now: SimTime, queue: &mut EventQueue<Event>) {
-        self.reducers[r].fetched += 1;
+    /// A shuffle fetch drains. Stale completions are dropped: the
+    /// reducer restarted on another node (attempt mismatch), the serving
+    /// map was invalidated or re-won elsewhere (its source died
+    /// mid-shuffle), or this partition was already re-fetched.
+    #[allow(clippy::too_many_arguments)]
+    fn on_fetch_done(
+        &mut self,
+        r: usize,
+        m: usize,
+        from: NodeId,
+        attempt: u32,
+        bytes: u64,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let stale = self.reducers[r].attempt != attempt
+            || self.reducers[r].done
+            || self.reducers[r].fetched_from[m]
+            || !self.maps[m].done
+            || self.maps[m].winner != Some(from);
+        if stale {
+            return;
+        }
+        self.reducers[r].fetched_from[m] = true;
         self.reducers[r].input_bytes += bytes;
         self.check_reduce_ready(r, now, queue);
     }
@@ -649,7 +1023,7 @@ impl<'a> RoundSim<'a> {
         if state.compute_scheduled
             || state.done
             || state.node.is_none()
-            || state.fetched < self.maps.len()
+            || state.fetched_from.iter().any(|&f| !f)
             || self.completed_maps < self.maps.len()
         {
             return;
@@ -660,7 +1034,10 @@ impl<'a> RoundSim<'a> {
         self.reducers[r].compute_scheduled = true;
         queue.push(
             now + Duration::from_secs_f64(compute_secs * noise),
-            Event::ReduceComputeDone { reduce: r },
+            Event::ReduceComputeDone {
+                reduce: r,
+                attempt: self.reducers[r].attempt,
+            },
         );
     }
 
@@ -689,9 +1066,17 @@ impl<'a> RoundSim<'a> {
                 400,
                 700,
             );
-            let targets = self
-                .hdfs
-                .pipeline_targets(node, self.config.replication, self.rng);
+            let targets = if self.down.is_empty() {
+                self.hdfs
+                    .pipeline_targets(node, self.config.replication, self.rng)
+            } else {
+                self.hdfs.pipeline_targets_avoiding(
+                    node,
+                    self.config.replication,
+                    self.rng,
+                    self.down,
+                )
+            };
             // Pipeline hops: writer -> t0 is local when t0 == writer;
             // each subsequent hop is a network flow.
             let mut hop_finish = write_at;
@@ -711,10 +1096,15 @@ impl<'a> RoundSim<'a> {
                 }
                 upstream = target;
             }
-            self.output_blocks.push(Block {
-                bytes,
-                replicas: targets,
-            });
+            // A whole-cluster outage yields no targets: the block simply
+            // isn't stored (never pushed), rather than recorded with no
+            // replicas.
+            if !targets.is_empty() {
+                self.output_blocks.push(Block {
+                    bytes,
+                    replicas: targets,
+                });
+            }
             // Blocks of one task are written back-to-back.
             write_at = hop_finish.max(write_at);
             finish = finish.max(hop_finish);
@@ -725,19 +1115,40 @@ impl<'a> RoundSim<'a> {
     /// Sort/reduce finished: write the reducer's output through HDFS
     /// replication pipelines, then finish the task when the last pipeline
     /// drains.
-    fn on_reduce_compute_done(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+    fn on_reduce_compute_done(
+        &mut self,
+        r: usize,
+        attempt: u32,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.reducers[r].attempt != attempt || self.reducers[r].done {
+            return; // the attempt died with its node; a fresh one re-runs
+        }
         let node = self.reducers[r].node.expect("running reducer");
         let output = (self.reducers[r].input_bytes as f64 * self.profile.reduce_selectivity) as u64;
+        let block_start = self.output_blocks.len();
         let finish = self.write_output(node, output, now);
+        self.reducers[r].written = Some((block_start, self.output_blocks.len() - block_start));
         queue.push(
             finish.max(now + Duration::from_millis(10)),
-            Event::ReduceDone { reduce: r },
+            Event::ReduceDone { reduce: r, attempt },
         );
     }
 
-    fn on_reduce_done(&mut self, r: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+    fn on_reduce_done(
+        &mut self,
+        r: usize,
+        attempt: u32,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.reducers[r].attempt != attempt || self.reducers[r].done {
+            return;
+        }
         let node = self.reducers[r].node.expect("running reducer");
         self.reducers[r].done = true;
+        self.reducers[r].written = None; // output committed
         self.completed_reducers += 1;
         self.running_reducers -= 1;
         self.release_slot(node);
@@ -759,6 +1170,7 @@ impl<'a> RoundSim<'a> {
 ///
 /// The caller provides the shared [`NetModel`] tap; the packets it
 /// accumulates are the capture.
+#[cfg(test)]
 pub(crate) fn simulate_job(
     cluster: &ClusterSpec,
     config: &HadoopConfig,
@@ -795,6 +1207,39 @@ pub(crate) fn simulate_job_at(
     start: SimTime,
     input_blocks: Option<Vec<Block>>,
 ) -> (SimTime, Vec<Block>) {
+    simulate_job_at_faulted(
+        cluster,
+        config,
+        job,
+        net,
+        rng,
+        counters,
+        start,
+        input_blocks,
+        &[],
+    )
+}
+
+/// [`simulate_job_at`] under a node-fault timeline: crashes and
+/// recoveries fire as DES events inside the rounds (killing attempts,
+/// invalidating map output, restarting reducers), and every crash that
+/// costs a stored block a replica triggers NameNode-commanded
+/// re-replication traffic after the heartbeat-expiry delay.
+///
+/// An empty `faults` slice takes exactly the clean path — same RNG
+/// draws, same events, byte-identical capture.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_job_at_faulted(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    job: &JobSpec,
+    net: &mut NetModel,
+    rng: &mut StdRng,
+    counters: &mut JobCounters,
+    start: SimTime,
+    input_blocks: Option<Vec<Block>>,
+    faults: &[NodeFault],
+) -> (SimTime, Vec<Block>) {
     let profile = job.workload.profile();
     let hdfs = Hdfs::new(cluster.clone());
     let master = cluster.master();
@@ -819,7 +1264,24 @@ pub(crate) fn simulate_job_at(
     let mut t = start + AM_STARTUP;
     let mut job_end = t;
     let mut last_output: Vec<Block> = Vec::new();
+    // All blocks the job ever stored (input plus every round's output):
+    // the inventory the re-replication pass scans for lost replicas.
+    let mut stored_blocks = original_blocks.clone();
+    let mut fault_cursor = 0usize;
+    let mut down: HashSet<NodeId> = HashSet::new();
     for round in 0..profile.iterations {
+        // Faults landing before the round starts (or between rounds)
+        // apply directly: the node is simply absent (or back) when
+        // scheduling begins.
+        while fault_cursor < faults.len() && faults[fault_cursor].at <= t {
+            let fault = faults[fault_cursor];
+            if fault.down {
+                down.insert(fault.node);
+            } else {
+                down.remove(&fault.node);
+            }
+            fault_cursor += 1;
+        }
         counters.rounds += 1;
         let sim = RoundSim::new(
             cluster,
@@ -832,10 +1294,14 @@ pub(crate) fn simulate_job_at(
             &mut tasks,
             am_node,
             round_input,
+            faults,
+            &mut fault_cursor,
+            &mut down,
         );
         let result = sim.run(t);
         job_end = result.end;
         last_output = result.output_blocks.clone();
+        stored_blocks.extend(result.output_blocks.iter().cloned());
         round_input = if profile.reread_input || result.output_blocks.is_empty() {
             original_blocks.clone()
         } else {
@@ -843,6 +1309,67 @@ pub(crate) fn simulate_job_at(
         };
         t = result.end + ROUND_GAP;
         let _ = round;
+    }
+
+    // HDFS re-replication: each worker crash inside the job's span costs
+    // every block it held a replica; once the NameNode notices (heartbeat
+    // expiry), a surviving replica holder streams a copy to a fresh node.
+    if !faults.is_empty() {
+        let master = cluster.master();
+        let mut down_now: HashSet<NodeId> = HashSet::new();
+        for fault in faults {
+            if fault.at > job_end {
+                break;
+            }
+            if !fault.down {
+                down_now.remove(&fault.node);
+                continue;
+            }
+            if !down_now.insert(fault.node) {
+                continue;
+            }
+            counters.node_crashes += 1;
+            let at = fault.at + REREPLICATION_DELAY;
+            for block in &mut stored_blocks {
+                if !block.replicas.contains(&fault.node) {
+                    continue;
+                }
+                let live: Vec<NodeId> = block
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| !down_now.contains(n))
+                    .collect();
+                // All replicas dead: the block is lost; nothing to copy.
+                let Some(&source) = live.first() else {
+                    continue;
+                };
+                let candidates: Vec<NodeId> = cluster
+                    .workers()
+                    .filter(|w| !down_now.contains(w) && !block.replicas.contains(w))
+                    .collect();
+                let Some(&target) = candidates.as_slice().choose(rng) else {
+                    continue; // no spare node to hold a new replica
+                };
+                net.exchange(at, source, master, ports::NAMENODE_RPC, 300, 500);
+                net.transfer(
+                    at,
+                    source,
+                    target,
+                    ports::DATANODE_XFER,
+                    block.bytes,
+                    Payload::ToServer,
+                );
+                counters.rereplicated_blocks += 1;
+                counters.rereplicated_bytes += block.bytes;
+                counters.rereplication_flows += 1;
+                for replica in &mut block.replicas {
+                    if *replica == fault.node {
+                        *replica = target;
+                    }
+                }
+            }
+        }
     }
 
     // Control plane, generated over the measured job span:
@@ -1130,6 +1657,111 @@ mod tests {
         assert_eq!(e1, e2);
         assert_eq!(c1, c2);
         assert_eq!(p1, p2);
+    }
+
+    fn fault_spec(events: Vec<(u64, FaultKind)>) -> FaultSpec {
+        FaultSpec {
+            faults: events
+                .into_iter()
+                .map(|(secs, kind)| keddah_faults::TimedFault {
+                    at_nanos: secs * 1_000_000_000,
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    fn run_faulted(job: JobSpec, seed: u64, spec: &FaultSpec) -> (SimTime, JobCounters, NetModel) {
+        let cluster = ClusterSpec::racks(2, 3);
+        let config = HadoopConfig::default();
+        let timeline = node_faults(spec, cluster.worker_count());
+        let mut net = NetModel::new(cluster.nic_bps);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counters = JobCounters::default();
+        let (end, _) = simulate_job_at_faulted(
+            &cluster,
+            &config,
+            &job,
+            &mut net,
+            &mut rng,
+            &mut counters,
+            SimTime::ZERO,
+            None,
+            &timeline,
+        );
+        (end, counters, net)
+    }
+
+    #[test]
+    fn node_crash_triggers_rereplication_and_stretches_the_job() {
+        let job = JobSpec::new(Workload::TeraSort, 1 << 30);
+        let (end_clean, clean, _) = run_faulted(job.clone(), 7, &FaultSpec::empty());
+        // Crash early enough to land mid-job (AM startup is 2 s).
+        let spec = fault_spec(vec![(10, FaultKind::NodeCrash { node: 2 })]);
+        let (end_faulty, faulty, _) = run_faulted(job, 7, &spec);
+        assert_eq!(clean.node_crashes, 0);
+        assert_eq!(clean.rereplicated_blocks, 0);
+        assert_eq!(faulty.node_crashes, 1);
+        // 8 input blocks x 3 replicas over 6 workers: the dead node held
+        // some replicas, and each costs a recovery copy.
+        assert!(faulty.rereplicated_blocks > 0, "{faulty:?}");
+        assert_eq!(
+            u64::from(faulty.rereplication_flows),
+            u64::from(faulty.rereplicated_blocks)
+        );
+        assert!(faulty.rereplicated_bytes > 0);
+        // Tasks (not attempts) are conserved; recovery stretches the job.
+        assert_eq!(clean.maps, faulty.maps);
+        assert!(end_faulty > end_clean, "{end_faulty} vs {end_clean}");
+    }
+
+    #[test]
+    fn crash_and_recover_completes_all_work() {
+        let job = JobSpec::new(Workload::TeraSort, 1 << 30);
+        let spec = fault_spec(vec![
+            (5, FaultKind::NodeCrash { node: 1 }),
+            (40, FaultKind::NodeRecover { node: 1 }),
+        ]);
+        let (end, counters, net) = run_faulted(job.clone(), 3, &spec);
+        let (_, clean, _) = run_faulted(job, 3, &FaultSpec::empty());
+        assert_eq!(counters.maps, clean.maps, "every map task still runs");
+        assert_eq!(counters.rounds, clean.rounds);
+        assert!(end > SimTime::from_secs(5));
+        assert!(net.captured() > 100);
+    }
+
+    #[test]
+    fn link_faults_are_ignored_by_the_capture_layer() {
+        let job = JobSpec::new(Workload::WordCount, 512 << 20);
+        let spec = fault_spec(vec![
+            (5, FaultKind::LinkDown { link: 0 }),
+            (
+                8,
+                FaultKind::LinkDegraded {
+                    link: 1,
+                    factor: 0.5,
+                },
+            ),
+        ]);
+        let (e1, c1, mut n1) = run_faulted(job.clone(), 9, &spec);
+        let (e2, c2, mut n2) = run_faulted(job, 9, &FaultSpec::empty());
+        assert_eq!(e1, e2);
+        assert_eq!(c1, c2);
+        assert_eq!(n1.take_packets(), n2.take_packets());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let job = JobSpec::new(Workload::PageRank, 256 << 20);
+        let spec = fault_spec(vec![
+            (8, FaultKind::NodeCrash { node: 3 }),
+            (60, FaultKind::NodeRecover { node: 3 }),
+        ]);
+        let (e1, c1, mut n1) = run_faulted(job.clone(), 11, &spec);
+        let (e2, c2, mut n2) = run_faulted(job, 11, &spec);
+        assert_eq!(e1, e2);
+        assert_eq!(c1, c2);
+        assert_eq!(n1.take_packets(), n2.take_packets());
     }
 
     #[test]

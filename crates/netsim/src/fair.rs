@@ -343,6 +343,33 @@ impl FairShareState {
         }
     }
 
+    /// Changes one link's capacity (a degraded or repaired optic, a
+    /// downed link at 0) and re-solves only the component sharing it:
+    /// the link's flows seed the dirty set exactly like an arrival on
+    /// that link would, so the incremental allocator absorbs fault
+    /// events without a dense refill. With no flows on the link this is
+    /// a pure bookkeeping update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is out of range or the capacity is not a
+    /// finite non-negative number.
+    pub fn set_capacity(&mut self, link: u32, bps: f64) {
+        assert!(
+            (link as usize) < self.capacities.len(),
+            "link {link} out of range"
+        );
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "capacity must be finite and non-negative, got {bps}"
+        );
+        self.capacities[link as usize] = bps;
+        let seeds = self.link_flows[link as usize].clone();
+        if !seeds.is_empty() {
+            self.resolve_around(&seeds);
+        }
+    }
+
     /// The current rate of an active flow, bits/s.
     ///
     /// # Panics
@@ -608,6 +635,39 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(max_min_rates(&[], &[1.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn set_capacity_rescales_only_the_affected_component() {
+        // Two links, two isolated flows. Degrading link 0 must re-rate
+        // its flow and leave the other component untouched, on both the
+        // incremental and the dense-oracle paths.
+        for full in [false, true] {
+            let mut state = FairShareState::new(vec![10.0, 6.0], 100.0).with_full_recompute(full);
+            let f0 = state.insert_flow(&[0]);
+            let f1 = state.insert_flow(&[1]);
+            assert!(close(state.rate(f0), 10.0));
+            assert!(close(state.rate(f1), 6.0));
+            state.set_capacity(0, 2.5);
+            assert!(close(state.rate(f0), 2.5), "full={full}");
+            assert!(close(state.rate(f1), 6.0), "full={full}");
+            // Repair restores the original allocation.
+            state.set_capacity(0, 10.0);
+            assert!(close(state.rate(f0), 10.0), "full={full}");
+        }
+    }
+
+    #[test]
+    fn set_capacity_on_an_empty_link_is_pure_bookkeeping() {
+        let mut state = FairShareState::new(vec![10.0, 6.0], 100.0);
+        let f0 = state.insert_flow(&[0]);
+        let solves_before = state.solves();
+        state.set_capacity(1, 1.0);
+        assert_eq!(state.solves(), solves_before, "no flows, no re-solve");
+        // The new capacity still takes effect for later arrivals.
+        let f1 = state.insert_flow(&[1]);
+        assert!(close(state.rate(f1), 1.0));
+        assert!(close(state.rate(f0), 10.0));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   completions and per-link byte counts come back in a [`SimReport`];
 //! * [`TrafficSource`] — reactive traffic: sources are told when each
 //!   flow completes and may inject dependent flows, enabling closed-loop
-//!   replay where congestion delays dependent traffic.
+//!   replay where congestion delays dependent traffic;
+//! * [`simulate_faulted`] — the same loop under a `keddah-faults`
+//!   schedule: node crashes, link failures/degradations and partitions
+//!   fire as DES events that abort or re-route flows ([`FaultStats`]
+//!   accounts for every lost byte).
 //!
 //! # Examples
 //!
@@ -46,7 +50,10 @@ mod topology;
 
 pub use fair::{max_min_rates, FairFlowId, FairShareState};
 pub use routing::RouteCache;
-pub use sim::{simulate, simulate_source, FlowResult, FlowSpec, SimOptions, SimReport};
+pub use sim::{
+    simulate, simulate_faulted, simulate_source, FaultStats, FlowResult, FlowSpec, SimOptions,
+    SimReport,
+};
 pub use source::{FlowId, StaticSource, TrafficSource};
 pub use tcp::{simulate_tcp, TcpOptions};
 pub use topology::{HostId, LinkId, Topology};

@@ -86,6 +86,45 @@ impl<'a> RouteCache<'a> {
             .or_insert_with(|| topo.distances_to(dst.0));
         topo.walk_route(src.0, dst.0, dist, flow_hash)
     }
+
+    /// Drops every cached distance table. Fault events that change the
+    /// usable graph (a link going down) must call this before the next
+    /// route query; the tables are then lazily rebuilt against the new
+    /// mask.
+    pub fn invalidate(&mut self) {
+        self.distances.clear();
+    }
+
+    /// Shortest ECMP path from `src` to `dst` over the surviving graph
+    /// (links with `down[link] == true` removed). Returns `None` when
+    /// the fault mask disconnects the pair.
+    ///
+    /// The cached tables are only valid for one mask at a time: callers
+    /// must [`invalidate`](Self::invalidate) whenever `down` changes
+    /// (the fault layer does so on every `LinkDown`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a host.
+    pub fn route_avoiding(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        flow_hash: u64,
+        down: &[bool],
+    ) -> Option<Vec<LinkId>> {
+        assert!(src.0 < self.topo.host_count(), "{src} is not a host");
+        assert!(dst.0 < self.topo.host_count(), "{dst} is not a host");
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let topo = self.topo;
+        let dist = self
+            .distances
+            .entry(dst.0)
+            .or_insert_with(|| topo.distances_to_avoiding(dst.0, down));
+        topo.walk_route_avoiding(src.0, dst.0, dist, flow_hash, down)
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +158,51 @@ mod tests {
         let path = cache.route(HostId(0), HostId(5), 3);
         assert_eq!(path, topo.route(HostId(0), HostId(5), 3));
         assert_eq!(cache.cached_destinations() as u32, topo.host_count());
+    }
+
+    #[test]
+    fn masked_routing_avoids_downed_links_or_reports_disconnection() {
+        let topo = Topology::leaf_spine(2, 2, 2, 1e9, 1.0);
+        let mut cache = RouteCache::new(&topo);
+        let all_up = vec![false; topo.link_count()];
+        // With nothing down, the masked route equals the clean route.
+        assert_eq!(
+            cache.route_avoiding(HostId(0), HostId(3), 5, &all_up),
+            Some(cache.route(HostId(0), HostId(3), 5))
+        );
+        // Down the link the clean path uses: the masked route must avoid
+        // it (two spines => an alternative exists).
+        let clean = cache.route(HostId(0), HostId(3), 5);
+        let dead = clean[1]; // a fabric link (index 0 is the host uplink)
+        let mut down = all_up.clone();
+        down[dead.0 as usize] = true;
+        cache.invalidate();
+        let masked = cache
+            .route_avoiding(HostId(0), HostId(3), 5, &down)
+            .expect("alternative spine exists");
+        assert!(!masked.contains(&dead));
+        // Down the host's only uplink: disconnected.
+        let mut cut_off = all_up.clone();
+        cut_off[clean[0].0 as usize] = true;
+        cache.invalidate();
+        assert_eq!(
+            cache.route_avoiding(HostId(0), HostId(3), 5, &cut_off),
+            None
+        );
+        // Self-routes survive any mask.
+        assert_eq!(
+            cache.route_avoiding(HostId(1), HostId(1), 0, &cut_off),
+            Some(Vec::new())
+        );
+    }
+
+    #[test]
+    fn invalidate_clears_cached_tables() {
+        let topo = Topology::star(4, 1e9);
+        let mut cache = RouteCache::warmed(&topo);
+        assert_eq!(cache.cached_destinations() as u32, topo.host_count());
+        cache.invalidate();
+        assert_eq!(cache.cached_destinations(), 0);
     }
 
     #[test]

@@ -41,6 +41,23 @@ pub trait TrafficSource {
     /// Called when flow `id` has fully completed (its last byte arrived,
     /// at `result.finish`). Returns dependent flows to inject now.
     fn on_flow_complete(&mut self, id: FlowId, result: &FlowResult) -> Vec<FlowSpec>;
+
+    /// Called when a fault killed flow `id` before it could complete
+    /// (`result.finish` is the abort time, `lost_bytes` the payload that
+    /// never arrived). The source may re-issue the transfer — a retried
+    /// shuffle fetch, a re-replication from a surviving replica — by
+    /// returning replacement flows, or accept the loss (the default).
+    ///
+    /// Never called in fault-free runs, so sources that ignore faults
+    /// need no changes.
+    fn on_flow_aborted(
+        &mut self,
+        _id: FlowId,
+        _result: &FlowResult,
+        _lost_bytes: u64,
+    ) -> Vec<FlowSpec> {
+        Vec::new()
+    }
 }
 
 /// The open-loop source: every flow is known up front, nothing reacts.

@@ -226,6 +226,7 @@ pub fn simulate_tcp(topo: &Topology, flows: &[FlowSpec], options: TcpOptions) ->
         peak_active,
         // Each simulated RTT round is one event of this stepped model.
         events: round,
+        faults: crate::sim::FaultStats::default(),
     }
 }
 

@@ -307,6 +307,73 @@ impl Topology {
         }
         dist
     }
+
+    /// [`Self::distances_to`] over the surviving graph: links with
+    /// `down[link] == true` do not exist. Unreachable nodes keep
+    /// `u32::MAX`.
+    pub(crate) fn distances_to_avoiding(&self, dst: u32, down: &[bool]) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count as usize];
+        dist[dst as usize] = 0;
+        let mut frontier = std::collections::VecDeque::new();
+        frontier.push_back(dst);
+        let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); self.node_count as usize];
+        for (i, l) in self.links.iter().enumerate() {
+            if !down[i] {
+                incoming[l.to as usize].push(l.from);
+            }
+        }
+        while let Some(v) = frontier.pop_front() {
+            let d = dist[v as usize];
+            for &u in &incoming[v as usize] {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = d + 1;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// [`Self::walk_route`] over the surviving graph. Returns `None`
+    /// when `dst` is unreachable from `src` with the downed links
+    /// removed — a fault outcome, not an invariant violation, so no
+    /// connectivity assert.
+    pub(crate) fn walk_route_avoiding(
+        &self,
+        src: u32,
+        dst: u32,
+        dist: &[u32],
+        flow_hash: u64,
+        down: &[bool],
+    ) -> Option<Vec<LinkId>> {
+        if dist[src as usize] == u32::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut at = src;
+        let mut hop = 0u64;
+        while at != dst {
+            let d_here = dist[at as usize];
+            let candidates: Vec<u32> = self.out_links[at as usize]
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    if down[l as usize] {
+                        return false;
+                    }
+                    let to = self.links[l as usize].to;
+                    dist[to as usize] != u32::MAX && dist[to as usize] + 1 == d_here
+                })
+                .collect();
+            // `dist` was computed on the same masked graph, so every node
+            // at finite distance has a surviving next hop.
+            let pick = candidates[(mix(flow_hash, hop) as usize) % candidates.len()];
+            path.push(LinkId(pick));
+            at = self.links[pick as usize].to;
+            hop += 1;
+        }
+        Some(path)
+    }
 }
 
 /// Cheap deterministic 64-bit mix for ECMP tie-breaking.

@@ -3,7 +3,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use keddah_hadoop::{run_job_with_packets, ClusterSpec, HadoopConfig, JobSpec, Workload};
+use keddah_faults::FaultSpec;
+use keddah_hadoop::{run_job_with_packets_faulted, ClusterSpec, HadoopConfig, JobSpec, Workload};
 
 use super::{err, Args, Result};
 
@@ -26,6 +27,9 @@ FLAGS:
     --jobs <N>             simulate repeats on N threads [default: 1]
     --out <DIR>            output directory             [default: .]
     --packets-out <DIR>    also write tcpdump-style packet text here
+    --faults <FILE>        inject this fault schedule into every run
+                           (node crashes/recoveries; see `keddah faults`);
+                           failure counters land in the trace metadata
 
 Each repeat runs under seed, seed+1, ... regardless of --jobs: the
 parallelism changes wall-clock time, never the captures.";
@@ -43,6 +47,7 @@ const FLAGS: &[&str] = &[
     "jobs",
     "out",
     "packets-out",
+    "faults",
 ];
 
 /// Runs the subcommand.
@@ -93,6 +98,28 @@ pub fn run(args: &Args) -> Result<()> {
         fs::create_dir_all(dir)?;
     }
 
+    let faults = match args.get("faults") {
+        Some(path) => {
+            let json =
+                fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let spec = FaultSpec::from_json(&json).map_err(|e| err(e.to_string()))?;
+            // The capture layer consumes node faults only; link faults
+            // are validated leniently (any index) and ignored by the
+            // cluster simulator.
+            spec.validate(cluster.worker_count() + 1, u32::MAX)
+                .map_err(|e| err(e.to_string()))?;
+            if spec
+                .faults
+                .iter()
+                .any(|f| !matches!(f.kind.label(), "node_crash" | "node_recover"))
+            {
+                eprintln!("note: link/partition faults only affect replay, not capture");
+            }
+            spec
+        }
+        None => FaultSpec::empty(),
+    };
+
     let jobs: usize = args.get_num("jobs", 1usize)?.max(1);
 
     let job = JobSpec::new(workload, (input_gb * (1u64 << 30) as f64) as u64);
@@ -110,13 +137,15 @@ pub fn run(args: &Args) -> Result<()> {
         std::thread::scope(|scope| {
             for _ in 0..jobs.min(seeds.len()) {
                 let tx = tx.clone();
-                let (next, seeds, cluster, config, job) = (&next, &seeds, &cluster, &config, &job);
+                let (next, seeds, cluster, config, job, faults) =
+                    (&next, &seeds, &cluster, &config, &job, &faults);
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= seeds.len() {
                         break;
                     }
-                    let result = run_job_with_packets(cluster, config, job, seeds[i]);
+                    let result =
+                        run_job_with_packets_faulted(cluster, config, job, seeds[i], faults);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
@@ -158,6 +187,19 @@ pub fn run(args: &Args) -> Result<()> {
             run.trace.total_bytes() as f64 / 1e9,
             run.duration.as_secs_f64()
         );
+        if run.counters.node_crashes > 0 {
+            eprintln!(
+                "    faults: {} crash(es), {} attempt(s) killed, {} failed map(s), \
+                 {} speculative, {} block(s) re-replicated ({:.2} GB, {} flows)",
+                run.counters.node_crashes,
+                run.counters.fault_killed_attempts,
+                run.counters.failed_map_attempts,
+                run.counters.speculative_attempts,
+                run.counters.rereplicated_blocks,
+                run.counters.rereplicated_bytes as f64 / 1e9,
+                run.counters.rereplication_flows
+            );
+        }
     }
     Ok(())
 }

@@ -3,6 +3,7 @@
 mod args;
 mod capture;
 mod family;
+mod faults;
 mod fit;
 mod generate;
 mod inspect;
@@ -57,6 +58,7 @@ COMMANDS:
     generate   generate synthetic jobs from a model
     mix        generate a multi-tenant workload from a weighted model mix
     replay     replay generated or captured traffic on a topology
+    faults     generate and inspect fault schedules for degraded runs
     validate   compare generated traffic against capture traces
     help       show this message
 
@@ -82,6 +84,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "generate" => generate::run(&Args::parse(rest)?),
         "mix" => mix::run(&Args::parse(rest)?),
         "replay" => replay::run(&Args::parse(rest)?),
+        "faults" => faults::run(&Args::parse(rest)?),
         "validate" => validate::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -2,8 +2,12 @@
 
 use std::fs;
 
-use keddah_core::replay::{replay_jobs, replay_model_closed, replay_trace, replay_trace_closed};
-use keddah_core::KeddahModel;
+use keddah_core::replay::{
+    replay_faulted, replay_jobs, replay_model_closed, replay_model_closed_faulted, replay_trace,
+    replay_trace_closed, replay_trace_closed_faulted, replay_trace_faulted, ReplayReport,
+};
+use keddah_core::validate::compare_replays;
+use keddah_core::{FaultSpec, KeddahModel};
 use keddah_flowcap::Trace;
 use keddah_netsim::SimOptions;
 
@@ -29,7 +33,10 @@ FLAGS:
     --mouse-bytes <N>   mice fast-path threshold        [default: 10000]
     --closed-loop       release dependent flows when their parents
                         complete in the simulation, instead of at
-                        pre-computed start times";
+                        pre-computed start times
+    --faults <FILE>     inject this fault schedule (see `keddah faults`)
+                        and also run the fault-free baseline, reporting
+                        per-component deltas between the two";
 
 const FLAGS: &[&str] = &[
     "model",
@@ -40,6 +47,7 @@ const FLAGS: &[&str] = &[
     "stagger-secs",
     "mouse-bytes",
     "closed-loop",
+    "faults",
 ];
 
 /// Runs the subcommand.
@@ -61,41 +69,87 @@ pub fn run(args: &Args) -> Result<()> {
     };
 
     let closed_loop = args.get_bool("closed-loop");
-
-    let report = match (args.get("model"), args.get("trace")) {
-        (Some(_), Some(_)) => {
-            return Err(err("give either --model or --trace, not both"));
+    let spec = match args.get("faults") {
+        Some(path) => {
+            let json =
+                fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            Some(FaultSpec::from_json(&json).map_err(|e| err(e.to_string()))?)
         }
-        (Some(model_path), None) => {
-            let json = fs::read_to_string(model_path)
-                .map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
-            let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
-            let jobs = args.get_num("jobs", 1u32)?.max(1);
-            let seed = args.get_num("seed", 1u64)?;
-            let stagger = args.get_num("stagger-secs", 10.0f64)?;
-            if closed_loop {
-                replay_model_closed(&model, &topo, jobs, seed, stagger, options)
-                    .map_err(|e| err(e.to_string()))?
-            } else {
-                let jobs = model.generate_jobs(jobs, seed, stagger);
-                replay_jobs(&jobs, &topo, options).map_err(|e| err(e.to_string()))?
-            }
-        }
-        (None, Some(trace_path)) => {
-            let file = fs::File::open(trace_path)
-                .map_err(|e| err(format!("cannot open {trace_path}: {e}")))?;
-            let trace = Trace::read_jsonl(std::io::BufReader::new(file))
-                .map_err(|e| err(format!("cannot parse {trace_path}: {e}")))?;
-            if closed_loop {
-                replay_trace_closed(&trace, &topo, options).map_err(|e| err(e.to_string()))?
-            } else {
-                replay_trace(&trace, &topo, options).map_err(|e| err(e.to_string()))?
-            }
-        }
-        (None, None) => {
-            return Err(err("need --model or --trace; run `keddah replay --help`"));
-        }
+        None => None,
     };
+
+    // With --faults, the baseline (fault-free) replay runs alongside the
+    // faulted one so per-component deltas can be reported.
+    let (baseline, faulted): (ReplayReport, Option<ReplayReport>) =
+        match (args.get("model"), args.get("trace")) {
+            (Some(_), Some(_)) => {
+                return Err(err("give either --model or --trace, not both"));
+            }
+            (Some(model_path), None) => {
+                let json = fs::read_to_string(model_path)
+                    .map_err(|e| err(format!("cannot read {model_path}: {e}")))?;
+                let model = KeddahModel::from_json(&json).map_err(|e| err(e.to_string()))?;
+                let jobs = args.get_num("jobs", 1u32)?.max(1);
+                let seed = args.get_num("seed", 1u64)?;
+                let stagger = args.get_num("stagger-secs", 10.0f64)?;
+                if closed_loop {
+                    let base = replay_model_closed(&model, &topo, jobs, seed, stagger, options)
+                        .map_err(|e| err(e.to_string()))?;
+                    let faulted = spec
+                        .as_ref()
+                        .map(|s| {
+                            replay_model_closed_faulted(
+                                &model, &topo, jobs, seed, stagger, s, options,
+                            )
+                        })
+                        .transpose()
+                        .map_err(|e| err(e.to_string()))?;
+                    (base, faulted)
+                } else {
+                    let jobs = model.generate_jobs(jobs, seed, stagger);
+                    let flows = keddah_core::replay::jobs_to_flows(&jobs, &topo)
+                        .map_err(|e| err(e.to_string()))?;
+                    let base =
+                        replay_jobs(&jobs, &topo, options).map_err(|e| err(e.to_string()))?;
+                    let faulted = spec
+                        .as_ref()
+                        .map(|s| replay_faulted(&topo, &flows, s, options))
+                        .transpose()
+                        .map_err(|e| err(e.to_string()))?;
+                    (base, faulted)
+                }
+            }
+            (None, Some(trace_path)) => {
+                let file = fs::File::open(trace_path)
+                    .map_err(|e| err(format!("cannot open {trace_path}: {e}")))?;
+                let trace = Trace::read_jsonl(std::io::BufReader::new(file))
+                    .map_err(|e| err(format!("cannot parse {trace_path}: {e}")))?;
+                if closed_loop {
+                    let base = replay_trace_closed(&trace, &topo, options)
+                        .map_err(|e| err(e.to_string()))?;
+                    let faulted = spec
+                        .as_ref()
+                        .map(|s| replay_trace_closed_faulted(&trace, &topo, s, options))
+                        .transpose()
+                        .map_err(|e| err(e.to_string()))?;
+                    (base, faulted)
+                } else {
+                    let base =
+                        replay_trace(&trace, &topo, options).map_err(|e| err(e.to_string()))?;
+                    let faulted = spec
+                        .as_ref()
+                        .map(|s| replay_trace_faulted(&trace, &topo, s, options))
+                        .transpose()
+                        .map_err(|e| err(e.to_string()))?;
+                    (base, faulted)
+                }
+            }
+            (None, None) => {
+                return Err(err("need --model or --trace; run `keddah replay --help`"));
+            }
+        };
+
+    let report = faulted.as_ref().unwrap_or(&baseline);
 
     println!(
         "replayed {} flows on {} ({} loop, makespan {:.1} s, peak link {:.1}%)",
@@ -121,6 +175,43 @@ pub fn run(args: &Args) -> Result<()> {
             q(0.95),
             q(0.99)
         );
+    }
+
+    if let Some(faulted) = &faulted {
+        let stats = &faulted.sim.faults;
+        println!(
+            "faults: {} applied, {} flow(s) aborted, {} flow(s) rerouted, \
+             {:.2} MB lost, {:.2} MB delivered",
+            stats.faults_applied,
+            stats.aborted.len(),
+            stats.rerouted_flows,
+            stats.lost_bytes as f64 / 1e6,
+            stats.delivered_bytes as f64 / 1e6
+        );
+        println!(
+            "{:<12} {:>12} {:>12} {:>8} {:>8}",
+            "component", "base (s)", "faulted (s)", "delta", "KS"
+        );
+        match compare_replays(&baseline, faulted) {
+            Ok(rows) => {
+                for row in rows {
+                    let delta = if row.mean_fct_a > 0.0 {
+                        (row.mean_fct_b - row.mean_fct_a) / row.mean_fct_a * 100.0
+                    } else {
+                        0.0
+                    };
+                    println!(
+                        "{:<12} {:>12.4} {:>12.4} {:>+7.1}% {:>8.3}",
+                        row.component.name(),
+                        row.mean_fct_a,
+                        row.mean_fct_b,
+                        delta,
+                        row.ks_statistic
+                    );
+                }
+            }
+            Err(e) => println!("  (no comparable components: {e})"),
+        }
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | [`flowcap`] | `keddah-flowcap` | Packet/flow capture and Hadoop traffic classification |
 //! | [`hadoop`] | `keddah-hadoop` | Hadoop cluster simulator (HDFS + YARN + MapReduce) |
 //! | [`netsim`] | `keddah-netsim` | Flow-level network simulator with DC topologies |
+//! | [`faults`] | `keddah-faults` | Deterministic fault schedules for degraded-mode runs |
 //! | [`core`] | `keddah-core` | The Keddah pipeline: capture → model → generate → replay |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@ pub mod cli;
 
 pub use keddah_core as core;
 pub use keddah_des as des;
+pub use keddah_faults as faults;
 pub use keddah_flowcap as flowcap;
 pub use keddah_hadoop as hadoop;
 pub use keddah_netsim as netsim;

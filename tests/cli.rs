@@ -185,9 +185,93 @@ fn error_paths_are_reported() {
 }
 
 #[test]
+fn faults_gen_show_and_degraded_replay() {
+    let dir = tmp_dir("faults");
+    let spec = dir.join("crash.json");
+    let gen = |out: &str| {
+        run(&[
+            "faults",
+            "gen",
+            "--hosts",
+            "5",
+            "--node-crashes",
+            "1",
+            "--recover-secs",
+            "10",
+            "--secs",
+            "30",
+            "--seed",
+            "9",
+            "--out",
+            out,
+        ])
+    };
+    gen(spec.to_str().unwrap()).expect("faults gen succeeds");
+    // Same flags, same seed: byte-identical schedule.
+    let again = dir.join("crash2.json");
+    gen(again.to_str().unwrap()).expect("faults gen again");
+    assert_eq!(
+        std::fs::read_to_string(&spec).expect("spec written"),
+        std::fs::read_to_string(&again).expect("second spec written")
+    );
+    run(&["faults", "show", spec.to_str().unwrap()]).expect("faults show succeeds");
+
+    // Capture under the crash, then replay the degraded trace with the
+    // same schedule and inspect its embedded counters.
+    run(&[
+        "capture",
+        "--workload",
+        "grep",
+        "--input-gb",
+        "0.25",
+        "--racks",
+        "1",
+        "--nodes-per-rack",
+        "4",
+        "--reducers",
+        "2",
+        "--repeats",
+        "1",
+        "--seed",
+        "5",
+        "--faults",
+        spec.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ])
+    .expect("faulted capture succeeds");
+    let trace = std::fs::read_dir(&dir)
+        .expect("dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .expect("trace exists");
+    run(&[
+        "replay",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--topology",
+        "star:8",
+        "--faults",
+        spec.to_str().unwrap(),
+    ])
+    .expect("degraded replay succeeds");
+    run(&["inspect", trace.to_str().unwrap()]).expect("trace card succeeds");
+
+    // Error paths.
+    assert!(run(&["faults"]).unwrap_err().contains("faults gen"));
+    assert!(run(&["faults", "gen", "--node-crashes", "1"])
+        .unwrap_err()
+        .contains("--hosts or --topology"));
+    assert!(run(&["faults", "show", "/nonexistent/spec.json"])
+        .unwrap_err()
+        .contains("cannot read"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn help_everywhere() {
     for cmd in [
-        "capture", "fit", "inspect", "generate", "replay", "validate",
+        "capture", "fit", "inspect", "generate", "replay", "validate", "faults",
     ] {
         run(&[cmd, "--help"]).expect("help succeeds");
     }

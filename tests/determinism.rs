@@ -183,6 +183,69 @@ fn full_recompute_knob_and_jobs_width_never_change_comparisons() {
 }
 
 #[test]
+fn fault_schedules_never_change_comparisons_across_widths_and_oracle() {
+    use keddah::core::replay::{replay_model_closed, replay_model_closed_faulted};
+    use keddah::core::validate::compare_replays;
+    use keddah::core::{MatrixCell, Runner};
+    use keddah::faults::{generate, FaultGen};
+
+    // Degraded-mode replay must be as reproducible as the clean path:
+    // the baseline-vs-faulted comparison of the same fitted model and
+    // the same seed-derived fault schedule serializes byte-identically
+    // at any runner width and under the full-recompute oracle
+    // (`SimOptions::full_recompute`, the programmatic face of the
+    // `KEDDAH_FULL_RECOMPUTE` env knob).
+    let cells = vec![MatrixCell::new(
+        Workload::TeraSort,
+        512 << 20,
+        HadoopConfig::default().with_reducers(3),
+        2,
+    )];
+    let topo = Topology::leaf_spine(3, 3, 2, 1e9, 2.0);
+    let gen = FaultGen {
+        hosts: topo.host_count(),
+        links: topo.link_count() as u32,
+        horizon_nanos: 30_000_000_000,
+        node_crashes: 1,
+        recover_after_nanos: Some(10_000_000_000),
+        link_downs: 1,
+        link_degrades: 1,
+        partitions: 0,
+    };
+    let spec = generate(&gen, 41);
+    assert_eq!(spec, generate(&gen, 41), "spec derivation is pure");
+
+    let comparison_json = |parallelism: usize, full_recompute: bool| -> String {
+        let runner = Runner::new(ClusterSpec::racks(2, 3));
+        let results = runner.run_matrix(&cells, parallelism);
+        let model = results[0].model.as_ref().expect("cell fits a model");
+        let opts = SimOptions {
+            full_recompute,
+            mouse_threshold: 10_000,
+            ..SimOptions::default()
+        };
+        let baseline = replay_model_closed(model, &topo, 2, 11, 5.0, opts).expect("baseline");
+        let faulted = replay_model_closed_faulted(model, &topo, 2, 11, 5.0, &spec, opts)
+            .expect("faulted replay");
+        assert!(
+            faulted.sim.faults.faults_applied > 0,
+            "the schedule actually fired"
+        );
+        let rows = compare_replays(&baseline, &faulted).expect("comparable components");
+        serde_json::to_string(&rows).expect("comparison serializes")
+    };
+    let base = comparison_json(1, false);
+    assert!(base.contains("ks_statistic"), "comparison is non-trivial");
+    assert_eq!(base, comparison_json(4, false), "width changes nothing");
+    assert_eq!(
+        base,
+        comparison_json(1, true),
+        "full-recompute oracle is byte-identical to the incremental path"
+    );
+    assert_eq!(base, comparison_json(4, true), "oracle at width 4");
+}
+
+#[test]
 fn trace_serialization_is_stable() {
     let cluster = ClusterSpec::racks(1, 4);
     let config = HadoopConfig::default().with_reducers(2);

@@ -101,6 +101,22 @@ const WORDCOUNT_CLOSED: &[(u32, u64, u64, u64)] = &[
     (3, 96, 10_427_798, 114_400),
 ];
 
+// Captured with `keddah capture --faults` under a single node_crash of
+// worker 2 at t=10 s: the trace carries the degraded-mode traffic (4
+// re-replicated blocks, 2 killed attempts, 2 restarted reducers) and
+// its metadata embeds the simulator counters that prove it.
+
+const TERASORT_NODEFAIL_OPEN: &[(u32, u64, u64, u64)] = &[
+    (1, 22, 69_510_044_356, 6_097_129_954),
+    (2, 25, 65_552_643_549, 3_745_099_313),
+    (3, 251, 27_491_692, 119_200),
+];
+const TERASORT_NODEFAIL_CLOSED: &[(u32, u64, u64, u64)] = &[
+    (1, 22, 47_669_774_246, 3_221_328_544),
+    (2, 25, 65_552_643_549, 3_745_099_313),
+    (3, 251, 27_491_692, 119_200),
+];
+
 const PAGERANK_OPEN: &[(u32, u64, u64, u64)] = &[
     (0, 1, 1_073_842_848, 1_073_842_848),
     (1, 46, 89_823_944_154, 4_995_344_557),
@@ -130,11 +146,40 @@ fn pagerank_replay_matches_golden() {
 }
 
 #[test]
+fn terasort_nodefail_replay_matches_golden() {
+    check(
+        "terasort_nodefail",
+        TERASORT_NODEFAIL_OPEN,
+        TERASORT_NODEFAIL_CLOSED,
+    );
+}
+
+#[test]
+fn nodefail_fixture_embeds_fault_counters() {
+    let meta_counters = fixture("terasort_nodefail")
+        .meta()
+        .counters
+        .clone()
+        .expect("faulted capture embeds counters");
+    assert_eq!(meta_counters["node_crashes"], 1);
+    assert_eq!(meta_counters["fault_killed_attempts"], 2);
+    assert_eq!(meta_counters["rereplicated_blocks"], 4);
+    assert_eq!(meta_counters["rereplication_flows"], 4);
+    assert_eq!(meta_counters["rereplicated_bytes"], 4 * (128 << 20));
+    // The fault-free fixture of the same configuration embeds none.
+    assert!(fixture("terasort").meta().counters.is_none());
+}
+
+#[test]
 fn closed_loop_defers_dependent_components() {
     // Sanity on the corpus itself: closed-loop shuffle FCTs must be no
     // smaller in aggregate than open-loop (dependents wait for their
     // parents), and non-dependent components identical — the structural
-    // reason the open/closed pins differ only where they do.
+    // reason the open/closed pins differ only where they do. The
+    // nodefail fixture is deliberately absent: its captured start times
+    // embed crash-induced stalls (reducer restarts waiting out the
+    // fault) that the closed-loop discipline re-derives away, so there
+    // closed loop legitimately beats open loop.
     for (open, closed) in [
         (TERASORT_OPEN, TERASORT_CLOSED),
         (WORDCOUNT_OPEN, WORDCOUNT_CLOSED),

@@ -387,6 +387,142 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Degraded-mode closed-loop runs conserve bytes: over everything a
+    /// reactive source injects — initial flows, dependents released on
+    /// completion, and replacements re-issued after aborts — delivered
+    /// plus lost equals the injected total, and the source hears exactly
+    /// one abort callback per aborted flow. With no faults in the
+    /// schedule, nothing is lost or aborted.
+    #[test]
+    fn faulted_closed_loop_conserves_bytes(
+        flows in prop::collection::vec(
+            (0u32..6, 1u32..6, 1u64..5_000_000, 0u64..6_000),
+            1..30
+        ),
+        faults in prop::collection::vec((0u64..8_000, 0u32..5, 1u32..6), 0..6),
+        reissue in any::<bool>(),
+    ) {
+        use keddah::faults::{FaultKind, FaultSpec, TimedFault};
+        use keddah::netsim::{
+            simulate_faulted, FlowId, FlowResult, FlowSpec, HostId, SimOptions, Topology,
+            TrafficSource,
+        };
+
+        /// Chains a dependent flow onto each completion (bounded) and
+        /// optionally re-issues aborted transfers once, tracking its own
+        /// injected-byte total as the conservation oracle.
+        struct ChainSource {
+            initial: Vec<FlowSpec>,
+            children_left: u32,
+            reissues_left: u32,
+            injected_bytes: u64,
+            aborts_heard: usize,
+        }
+        impl TrafficSource for ChainSource {
+            fn on_start(&mut self) -> Vec<FlowSpec> {
+                let f = std::mem::take(&mut self.initial);
+                self.injected_bytes += f.iter().map(|s| s.bytes).sum::<u64>();
+                f
+            }
+            fn on_flow_complete(&mut self, _id: FlowId, result: &FlowResult) -> Vec<FlowSpec> {
+                if self.children_left == 0 {
+                    return Vec::new();
+                }
+                self.children_left -= 1;
+                let child = FlowSpec {
+                    src: result.spec.dst,
+                    dst: result.spec.src,
+                    bytes: result.spec.bytes / 2 + 1,
+                    start: result.finish,
+                    tag: result.spec.tag,
+                };
+                self.injected_bytes += child.bytes;
+                vec![child]
+            }
+            fn on_flow_aborted(
+                &mut self,
+                _id: FlowId,
+                result: &FlowResult,
+                _lost_bytes: u64,
+            ) -> Vec<FlowSpec> {
+                self.aborts_heard += 1;
+                if self.reissues_left == 0 {
+                    return Vec::new();
+                }
+                self.reissues_left -= 1;
+                let re = FlowSpec {
+                    start: result.finish,
+                    ..result.spec
+                };
+                self.injected_bytes += re.bytes;
+                vec![re]
+            }
+        }
+
+        let initial: Vec<FlowSpec> = flows
+            .iter()
+            .map(|&(src, hop, bytes, start_ms)| FlowSpec {
+                src: HostId(src),
+                dst: HostId((src + hop) % 6),
+                bytes,
+                start: SimTime::from_millis(start_ms),
+                tag: 0,
+            })
+            .collect();
+        let spec = FaultSpec {
+            faults: faults
+                .iter()
+                .map(|&(ms, kind, node)| TimedFault {
+                    at_nanos: ms * 1_000_000,
+                    kind: match kind {
+                        0 => FaultKind::NodeCrash { node },
+                        1 => FaultKind::NodeRecover { node },
+                        2 => FaultKind::LinkDown { link: node - 1 },
+                        3 => FaultKind::LinkDegraded { link: node - 1, factor: 0.5 },
+                        _ => FaultKind::Partition { cut: vec![node] },
+                    },
+                })
+                .collect(),
+        };
+
+        let topo = Topology::star(6, 1e9);
+        let mut source = ChainSource {
+            initial,
+            children_left: 10,
+            reissues_left: if reissue { 5 } else { 0 },
+            injected_bytes: 0,
+            aborts_heard: 0,
+        };
+        let report = simulate_faulted(&topo, &mut source, &spec.schedule(), SimOptions::default());
+        let stats = &report.faults;
+
+        prop_assert!(!stats.diverged, "solver made progress");
+        let injected: u64 = report.results.iter().map(|r| r.spec.bytes).sum();
+        prop_assert_eq!(injected, source.injected_bytes, "results cover every injection");
+        prop_assert_eq!(
+            stats.delivered_bytes + stats.lost_bytes,
+            source.injected_bytes,
+            "delivered {} + lost {} != injected {}",
+            stats.delivered_bytes,
+            stats.lost_bytes,
+            source.injected_bytes
+        );
+        prop_assert_eq!(
+            source.aborts_heard,
+            stats.aborted.len(),
+            "one abort callback per aborted flow"
+        );
+        if spec.is_empty() {
+            prop_assert_eq!(stats.lost_bytes, 0);
+            prop_assert!(stats.aborted.is_empty());
+            prop_assert_eq!(stats.faults_applied, 0);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Generated jobs respect the model's structural invariants for any
