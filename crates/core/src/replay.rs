@@ -30,9 +30,10 @@ use keddah_des::SimTime;
 use keddah_faults::{FaultSchedule, FaultSpec};
 use keddah_flowcap::{Component, Trace};
 use keddah_netsim::{
-    simulate, simulate_faulted, simulate_source, FlowSpec, HostId, SimOptions, SimReport,
-    StaticSource, Topology, TrafficSource,
+    simulate_faulted_observed, FlowSpec, HostId, SimOptions, SimReport, StaticSource, Topology,
+    TrafficSource,
 };
+use keddah_obs::Obs;
 
 use crate::generate::GeneratedJob;
 use crate::model::KeddahModel;
@@ -173,7 +174,21 @@ fn compile_spec(spec: &FaultSpec, topo: &Topology) -> Result<FaultSchedule> {
 /// (open loop).
 #[must_use]
 pub fn replay(topo: &Topology, flows: &[FlowSpec], options: SimOptions) -> ReplayReport {
-    split_report(simulate(topo, flows, options))
+    replay_observed(topo, flows, options, &Obs::disabled())
+}
+
+/// [`replay`] with an observability handle (see
+/// [`simulate_faulted_observed`] for what gets recorded). Byte-identical
+/// to [`replay`] whether `obs` records or not.
+#[must_use]
+pub fn replay_observed(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    options: SimOptions,
+    obs: &Obs,
+) -> ReplayReport {
+    let mut source = StaticSource::new(flows.to_vec());
+    replay_source_observed(topo, &mut source, options, obs)
 }
 
 /// Replays a reactive traffic source on a topology (closed loop): the
@@ -185,7 +200,23 @@ pub fn replay_source(
     source: &mut dyn TrafficSource,
     options: SimOptions,
 ) -> ReplayReport {
-    split_report(simulate_source(topo, source, options))
+    replay_source_observed(topo, source, options, &Obs::disabled())
+}
+
+/// [`replay_source`] with an observability handle.
+pub fn replay_source_observed(
+    topo: &Topology,
+    source: &mut dyn TrafficSource,
+    options: SimOptions,
+    obs: &Obs,
+) -> ReplayReport {
+    split_report(simulate_faulted_observed(
+        topo,
+        source,
+        &FaultSchedule::empty(),
+        options,
+        obs,
+    ))
 }
 
 /// Convenience: closed-loop replay of a capture trace, with dependency
@@ -246,14 +277,23 @@ pub fn replay_faulted(
     spec: &FaultSpec,
     options: SimOptions,
 ) -> Result<ReplayReport> {
-    let schedule = compile_spec(spec, topo)?;
+    replay_faulted_observed(topo, flows, spec, options, &Obs::disabled())
+}
+
+/// [`replay_faulted`] with an observability handle.
+///
+/// # Errors
+///
+/// As [`replay_faulted`].
+pub fn replay_faulted_observed(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    spec: &FaultSpec,
+    options: SimOptions,
+    obs: &Obs,
+) -> Result<ReplayReport> {
     let mut source = StaticSource::new(flows.to_vec());
-    Ok(split_report(simulate_faulted(
-        topo,
-        &mut source,
-        &schedule,
-        options,
-    )))
+    replay_source_faulted_observed(topo, &mut source, spec, options, obs)
 }
 
 /// Closed-loop replay of a reactive source under a fault schedule. The
@@ -270,9 +310,26 @@ pub fn replay_source_faulted(
     spec: &FaultSpec,
     options: SimOptions,
 ) -> Result<ReplayReport> {
+    replay_source_faulted_observed(topo, source, spec, options, &Obs::disabled())
+}
+
+/// [`replay_source_faulted`] with an observability handle. Every replay
+/// discipline funnels through this function, so enabling observability
+/// can never fork the arithmetic path.
+///
+/// # Errors
+///
+/// As [`replay_source_faulted`].
+pub fn replay_source_faulted_observed(
+    topo: &Topology,
+    source: &mut dyn TrafficSource,
+    spec: &FaultSpec,
+    options: SimOptions,
+    obs: &Obs,
+) -> Result<ReplayReport> {
     let schedule = compile_spec(spec, topo)?;
-    Ok(split_report(simulate_faulted(
-        topo, source, &schedule, options,
+    Ok(split_report(simulate_faulted_observed(
+        topo, source, &schedule, options, obs,
     )))
 }
 

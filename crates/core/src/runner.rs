@@ -277,6 +277,38 @@ impl CellResult {
     pub fn mean_duration_secs(&self) -> f64 {
         self.mean_over_runs(|r| r.duration_secs)
     }
+
+    /// Registers the cell's aggregates under the `runner` subsystem of
+    /// `obs`. Everything recorded is a pure function of the (already
+    /// deterministic) result — cache hits and scheduling are deliberately
+    /// excluded, so folding the same results yields the same metrics at
+    /// any worker count. No-op when `obs` is disabled.
+    pub fn record_obs(&self, obs: &keddah_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.add("runner", "cells", 1);
+        obs.add("runner", "runs", self.runs.len() as u64);
+        obs.add("runner", "models_fitted", u64::from(self.model.is_some()));
+        let durations = obs.histogram("runner", "run_duration_secs");
+        for run in &self.runs {
+            obs.add("runner", "flows", run.flows);
+            obs.add("runner", "bytes", run.bytes);
+            obs.add("runner", "maps", u64::from(run.maps));
+            obs.add("runner", "reducers", u64::from(run.reducers));
+            obs.add(
+                "runner",
+                "failed_map_attempts",
+                u64::from(run.failed_map_attempts),
+            );
+            obs.add(
+                "runner",
+                "speculative_attempts",
+                u64::from(run.speculative_attempts),
+            );
+            durations.observe(run.duration_secs);
+        }
+    }
 }
 
 type CellKey = (Workload, u64, u64, u32);
@@ -372,6 +404,32 @@ impl Runner {
             .into_iter()
             .map(|s| s.expect("every cell completed"))
             .collect()
+    }
+
+    /// [`Runner::run_matrix`], folding every cell's aggregates into
+    /// `obs` afterwards.
+    ///
+    /// Metrics are recorded from the *collected* results in `cells`
+    /// order — never from inside the workers — so the resulting snapshot
+    /// is byte-identical for any `parallelism`, exactly like the results
+    /// themselves (the `obs_determinism` tests pin this across worker
+    /// counts).
+    ///
+    /// # Panics
+    ///
+    /// As [`Runner::run_matrix`].
+    #[must_use]
+    pub fn run_matrix_observed(
+        &self,
+        cells: &[MatrixCell],
+        parallelism: usize,
+        obs: &keddah_obs::Obs,
+    ) -> Vec<CellResult> {
+        let results = self.run_matrix(cells, parallelism);
+        for result in &results {
+            result.record_obs(obs);
+        }
+        results
     }
 
     /// Runs one cell: simulate its repeats under derived seeds, summarize

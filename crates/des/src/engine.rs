@@ -96,12 +96,46 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Delivers a single event, invoking `tap` with the delivery time and
+    /// a shared view of the event *before* the handler runs.
+    ///
+    /// The tap is the engine's observability hook: it can record the
+    /// dispatch (tracing, metrics) but cannot touch the queue or the
+    /// event, so it cannot perturb the simulation.
+    pub fn step_with_tap<F, T>(&mut self, mut tap: T, mut handler: F) -> bool
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+        T: FnMut(SimTime, &E),
+    {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue produced out-of-order event");
+                self.now = ev.at;
+                self.processed += 1;
+                tap(ev.at, &ev.event);
+                handler(ev.at, ev.event, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Runs until the queue drains.
     pub fn run<F>(&mut self, mut handler: F)
     where
         F: FnMut(SimTime, E, &mut EventQueue<E>),
     {
         while self.step(&mut handler) {}
+    }
+
+    /// Runs until the queue drains, invoking `tap` for every delivered
+    /// event before its handler (see [`Engine::step_with_tap`]).
+    pub fn run_with_tap<F, T>(&mut self, mut tap: T, mut handler: F)
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+        T: FnMut(SimTime, &E),
+    {
+        while self.step_with_tap(&mut tap, &mut handler) {}
     }
 
     /// Runs until the queue drains or the next event would fire after
@@ -186,5 +220,30 @@ mod tests {
     fn step_on_empty_returns_false() {
         let mut engine: Engine<()> = Engine::new();
         assert!(!engine.step(|_, _, _| {}));
+    }
+
+    #[test]
+    fn tap_sees_every_dispatch_before_its_handler() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::ZERO, 0u32);
+        let order = std::cell::RefCell::new(Vec::new());
+        engine.run_with_tap(
+            |now, ev| order.borrow_mut().push((now, *ev, "tap")),
+            |now, ev, queue| {
+                order.borrow_mut().push((now, ev, "handler"));
+                if ev < 2 {
+                    queue.push(now + Duration::from_secs(1), ev + 1);
+                }
+            },
+        );
+        let order = order.into_inner();
+        let expected: Vec<(SimTime, u32, &str)> = (0..=2u32)
+            .flat_map(|i| {
+                let t = SimTime::from_secs(u64::from(i));
+                [(t, i, "tap"), (t, i, "handler")]
+            })
+            .collect();
+        assert_eq!(order, expected);
+        assert_eq!(engine.processed(), 3);
     }
 }

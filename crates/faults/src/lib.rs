@@ -120,6 +120,26 @@ impl TimedFault {
     pub fn at(&self) -> SimTime {
         SimTime::from_nanos(self.at_nanos)
     }
+
+    /// One-line description (`"node_crash node=2 @ 0.500000s"`), used by
+    /// CLI summaries and trace event details. Derived purely from the
+    /// fault itself, so traced runs stay deterministic.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let what = match &self.kind {
+            FaultKind::NodeCrash { node } | FaultKind::NodeRecover { node } => {
+                format!("node={node}")
+            }
+            FaultKind::LinkDown { link } => format!("link={link}"),
+            FaultKind::LinkDegraded { link, factor } => format!("link={link} factor={factor}"),
+            FaultKind::Partition { cut } => format!("cut={cut:?}"),
+        };
+        format!(
+            "{} {what} @ {:.6}s",
+            self.kind.label(),
+            self.at().as_secs_f64()
+        )
+    }
 }
 
 /// A serializable fault scenario: an unordered list of timed faults.

@@ -14,7 +14,6 @@
 //! Timestamps are seconds with microsecond precision (tcpdump's default
 //! clock display); `node<N>` hostnames carry the simulator's node ids.
 
-use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 
 use keddah_des::SimTime;
@@ -28,9 +27,7 @@ use crate::trace::TraceError;
 ///
 /// Returns any underlying I/O error.
 pub fn write_text<W: Write>(packets: &[PacketRecord], mut writer: W) -> Result<(), TraceError> {
-    let mut line = String::with_capacity(96);
     for p in packets {
-        line.clear();
         let flag = if p.syn {
             'S'
         } else if p.fin {
@@ -39,8 +36,8 @@ pub fn write_text<W: Write>(packets: &[PacketRecord], mut writer: W) -> Result<(
             '.'
         };
         let micros = p.ts.as_nanos() / 1_000;
-        write!(
-            line,
+        writeln!(
+            writer,
             "{}.{:06} IP node{}.{} > node{}.{}: Flags [{flag}], length {}",
             micros / 1_000_000,
             micros % 1_000_000,
@@ -49,9 +46,7 @@ pub fn write_text<W: Write>(packets: &[PacketRecord], mut writer: W) -> Result<(
             p.dst.0,
             p.dst_port,
             p.bytes
-        )
-        .expect("writing to a String cannot fail");
-        writeln!(writer, "{line}")?;
+        )?;
     }
     Ok(())
 }
@@ -77,6 +72,53 @@ pub fn read_text<R: Read>(reader: R) -> Result<Vec<PacketRecord>, TraceError> {
         })?);
     }
     Ok(packets)
+}
+
+/// The outcome of a lenient parse: every line that parsed, plus every
+/// line that did not.
+#[derive(Debug, Clone, Default)]
+pub struct LenientParse {
+    /// Packets from the lines that parsed, in input order.
+    pub packets: Vec<PacketRecord>,
+    /// `(1-based line number, message)` for each malformed line, in
+    /// input order.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl LenientParse {
+    /// Number of lines that failed to parse.
+    #[must_use]
+    pub fn parse_errors(&self) -> u64 {
+        self.errors.len() as u64
+    }
+}
+
+/// Parses tcpdump-style text, keeping every line that parses and
+/// collecting — instead of aborting on — the ones that do not.
+///
+/// Real captures get truncated mid-line by rotation and interleaved with
+/// kernel warnings; a single bad line must not discard the other
+/// millions. Use [`read_text`] when the input is trusted to be clean
+/// (e.g. this module's own output) and any damage should be loud.
+///
+/// # Errors
+///
+/// Returns only underlying I/O errors — malformed *content* lands in
+/// [`LenientParse::errors`].
+pub fn read_text_lenient<R: Read>(reader: R) -> Result<LenientParse, TraceError> {
+    let mut out = LenientParse::default();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_line(trimmed) {
+            Ok(packet) => out.packets.push(packet),
+            Err(message) => out.errors.push((i + 1, message)),
+        }
+    }
+    Ok(out)
 }
 
 /// Parses one `ts IP a.p > b.q: Flags [X], length N` line.
@@ -246,6 +288,43 @@ mod tests {
         ] {
             assert!(read_text(bad.as_bytes()).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn lenient_parse_survives_garbage() {
+        let text = "garbage\n\
+                    1.000000 IP node0.1 > node1.2: Flags [S], length 5\n\
+                    \u{0}\u{1}\u{2} binary junk \u{ff}\n\
+                    1.000010 IP node1.2 > node0.1: Flags [.], length 9\n";
+        let parsed = read_text_lenient(text.as_bytes()).unwrap();
+        assert_eq!(parsed.packets.len(), 2);
+        assert_eq!(parsed.parse_errors(), 2);
+        assert_eq!(parsed.errors[0].0, 1);
+        assert_eq!(parsed.errors[1].0, 3);
+    }
+
+    #[test]
+    fn lenient_parse_of_empty_input_is_empty() {
+        let parsed = read_text_lenient("".as_bytes()).unwrap();
+        assert!(parsed.packets.is_empty());
+        assert_eq!(parsed.parse_errors(), 0);
+        let blank = read_text_lenient("\n\n  \n".as_bytes()).unwrap();
+        assert!(blank.packets.is_empty());
+        assert_eq!(blank.parse_errors(), 0);
+    }
+
+    #[test]
+    fn lenient_parse_counts_mid_line_truncation() {
+        // A capture rotated mid-write: the final line stops inside the
+        // destination endpoint.
+        let text = "1.000000 IP node0.1 > node1.2: Flags [S], length 5\n\
+                    1.000010 IP node0.1 > nod";
+        let parsed = read_text_lenient(text.as_bytes()).unwrap();
+        assert_eq!(parsed.packets.len(), 1);
+        assert_eq!(parsed.parse_errors(), 1);
+        assert_eq!(parsed.errors[0].0, 2);
+        // The strict reader refuses the same input outright.
+        assert!(read_text(text.as_bytes()).is_err());
     }
 
     #[test]

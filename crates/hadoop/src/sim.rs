@@ -134,6 +134,19 @@ impl JobCounters {
         );
         m
     }
+
+    /// Registers every counter under the `hadoop` subsystem of `obs`,
+    /// using the same names as [`JobCounters::to_map`] — so a run's
+    /// `metrics.json` carries exactly the counters the capture embeds in
+    /// its trace metadata. No-op when `obs` is disabled.
+    pub fn record_obs(&self, obs: &keddah_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for (name, value) in self.to_map() {
+            obs.add("hadoop", &name, value);
+        }
+    }
 }
 
 /// A node-level fault as the Hadoop layer sees it: a worker leaving

@@ -51,8 +51,8 @@ mod topology;
 pub use fair::{max_min_rates, FairFlowId, FairShareState};
 pub use routing::RouteCache;
 pub use sim::{
-    simulate, simulate_faulted, simulate_source, FaultStats, FlowResult, FlowSpec, SimOptions,
-    SimReport,
+    simulate, simulate_faulted, simulate_faulted_observed, simulate_source, FaultStats, FlowResult,
+    FlowSpec, SimOptions, SimReport,
 };
 pub use source::{FlowId, StaticSource, TrafficSource};
 pub use tcp::{simulate_tcp, TcpOptions};

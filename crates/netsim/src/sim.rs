@@ -11,6 +11,7 @@
 
 use keddah_des::{Duration, Engine, SimTime};
 use keddah_faults::{FaultKind, FaultSchedule};
+use keddah_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use crate::fair::{FairFlowId, FairShareState};
@@ -315,6 +316,45 @@ pub fn simulate_faulted(
     schedule: &FaultSchedule,
     options: SimOptions,
 ) -> SimReport {
+    simulate_faulted_observed(topo, source, schedule, options, &Obs::disabled())
+}
+
+/// [`simulate_faulted`] with an observability handle: every entry point
+/// funnels through this one implementation, so the arithmetic path is
+/// identical whether `obs` records or not.
+///
+/// When `obs` is enabled the run emits trace events for engine
+/// dispatches (`des`/`dispatch`), flow lifecycle transitions
+/// (`netsim`/`flow_arrive`, `flow_complete`, `flow_abort`,
+/// `flow_reroute`) and fault firings (`faults`/`fault_fire`), and
+/// registers counters/gauges/histograms under the `des`, `netsim` and
+/// `faults` subsystems. The `faults` counters mirror the returned
+/// [`FaultStats`] exactly. Recording never feeds back into simulation
+/// state — the `obs_determinism` integration tests pin byte-identical
+/// reports with observability on and off.
+///
+/// # Panics
+///
+/// As [`simulate_faulted`].
+#[must_use]
+pub fn simulate_faulted_observed(
+    topo: &Topology,
+    source: &mut dyn TrafficSource,
+    schedule: &FaultSchedule,
+    options: SimOptions,
+    obs: &Obs,
+) -> SimReport {
+    // Metric handles are registered once, up front; all of them are
+    // inert no-ops when `obs` is disabled.
+    let c_dispatch = obs.counter("des", "events_dispatched");
+    let c_started = obs.counter("netsim", "flows_started");
+    let c_completed = obs.counter("netsim", "flows_completed");
+    let c_aborted = obs.counter("netsim", "flows_aborted");
+    let c_rerouted = obs.counter("netsim", "flows_rerouted");
+    let c_mice = obs.counter("netsim", "mice_fastpath");
+    let h_bytes = obs.histogram("netsim", "flow_bytes");
+    let h_fct = obs.histogram("netsim", "fct_us");
+
     let capacities = topo.capacities();
     let mut link_bytes = vec![0u64; capacities.len()];
 
@@ -369,7 +409,20 @@ pub fn simulate_faulted(
     let mut iterations: u64 = 0;
     let mut events: u64 = 0;
 
-    engine.run(|t, ev, queue| {
+    // The engine-level tap: every delivered event is visible to the
+    // tracer before its handler runs. Read-only, so it cannot perturb
+    // the simulation.
+    let tap = |t: SimTime, ev: &Ev| {
+        c_dispatch.inc();
+        let flow_id = match ev {
+            Ev::Arrive { id } | Ev::Notify { id } => Some(*id as u64),
+            Ev::Complete { .. } | Ev::Fault { .. } => None,
+        };
+        obs.trace(t.as_nanos(), "des", "dispatch", flow_id, || {
+            format!("{ev:?}")
+        });
+    };
+    engine.run_with_tap(tap, |t, ev, queue| {
         // The event's precise time: arrivals carry exact nanoseconds,
         // completions their predicted f64.
         let tf = match ev {
@@ -431,6 +484,14 @@ pub fn simulate_faulted(
                 fair.remove_flow(f.fair);
                 let spec = flows[f.idx];
                 let lost = spec.bytes.min((f.remaining_bits / 8.0).round() as u64);
+                c_aborted.inc();
+                obs.trace(
+                    t.as_nanos(),
+                    "netsim",
+                    "flow_abort",
+                    Some(f.idx as u64),
+                    || format!("divergence drain, lost_bytes={lost}"),
+                );
                 fstats.lost_bytes += lost;
                 fstats.delivered_bytes += spec.bytes - lost;
                 fstats.aborted.push(f.idx);
@@ -451,6 +512,20 @@ pub fn simulate_faulted(
         match ev {
             Ev::Arrive { id } => {
                 let spec = flows[id];
+                c_started.inc();
+                h_bytes.observe(spec.bytes as f64);
+                obs.trace(
+                    t.as_nanos(),
+                    "netsim",
+                    "flow_arrive",
+                    Some(id as u64),
+                    || {
+                        format!(
+                            "src={} dst={} bytes={} tag={}",
+                            spec.src.0, spec.dst.0, spec.bytes, spec.tag
+                        )
+                    },
+                );
                 // Fault gate: flows touching a dead host or straddling a
                 // partition never reach the wire; neither do any arrivals
                 // after a divergence drain.
@@ -478,6 +553,14 @@ pub fn simulate_faulted(
                 }
                 if doomed {
                     // Lost at injection: nothing was carried.
+                    c_aborted.inc();
+                    obs.trace(
+                        t.as_nanos(),
+                        "netsim",
+                        "flow_abort",
+                        Some(id as u64),
+                        || format!("doomed at injection, lost_bytes={}", spec.bytes),
+                    );
                     fstats.aborted.push(id);
                     fstats.lost_bytes += spec.bytes;
                     let result = FlowResult { spec, finish: t };
@@ -508,6 +591,16 @@ pub fn simulate_faulted(
                             + slow_start_delay(spec.bytes, &options)
                             + spec.bytes as f64 * 8.0 / bottleneck;
                         let finish = SimTime::from_secs_f64(now + fct);
+                        c_mice.inc();
+                        c_completed.inc();
+                        h_fct.observe(fct * 1e6);
+                        obs.trace(
+                            finish.as_nanos(),
+                            "netsim",
+                            "flow_complete",
+                            Some(id as u64),
+                            || format!("mice fast-path, fct_us={:.3}", fct * 1e6),
+                        );
                         fstats.delivered_bytes += spec.bytes;
                         results[id] = Some(FlowResult { spec, finish });
                         queue.push(finish.max(t), Ev::Notify { id });
@@ -555,6 +648,16 @@ pub fn simulate_faulted(
                     let extra =
                         options.propagation.as_secs_f64() + slow_start_delay(spec.bytes, &options);
                     let finish = SimTime::from_secs_f64(now + extra);
+                    c_completed.inc();
+                    let fct_us = finish.saturating_since(spec.start).as_secs_f64() * 1e6;
+                    h_fct.observe(fct_us);
+                    obs.trace(
+                        finish.as_nanos(),
+                        "netsim",
+                        "flow_complete",
+                        Some(id as u64),
+                        || format!("fct_us={fct_us:.3}"),
+                    );
                     fstats.delivered_bytes += spec.bytes;
                     results[id] = Some(FlowResult { spec, finish });
                     queue.push(finish.max(t), Ev::Notify { id });
@@ -562,6 +665,9 @@ pub fn simulate_faulted(
             }
             Ev::Fault { idx } => {
                 fstats.faults_applied += 1;
+                obs.trace(t.as_nanos(), "faults", "fault_fire", None, || {
+                    schedule.events()[idx].describe()
+                });
                 // Active flows a fault kills or displaces, pulled out of
                 // the active set in order.
                 let mut victims: Vec<ActiveFlow> = Vec::new();
@@ -650,12 +756,28 @@ pub fn simulate_faulted(
                             f.fair = fair.insert_flow(&new_links);
                             f.links = new_links;
                             fstats.rerouted_flows += 1;
+                            c_rerouted.inc();
+                            obs.trace(
+                                t.as_nanos(),
+                                "netsim",
+                                "flow_reroute",
+                                Some(f.idx as u64),
+                                || format!("carried={carried} onto {} links", f.links.len()),
+                            );
                             active.push(f);
                             continue;
                         }
                     }
                     fair.remove_flow(f.fair);
                     let lost = spec.bytes.min((f.remaining_bits / 8.0).round() as u64);
+                    c_aborted.inc();
+                    obs.trace(
+                        t.as_nanos(),
+                        "netsim",
+                        "flow_abort",
+                        Some(f.idx as u64),
+                        || format!("killed by fault, lost_bytes={lost}"),
+                    );
                     fstats.lost_bytes += lost;
                     fstats.delivered_bytes += spec.bytes - lost;
                     fstats.aborted.push(f.idx);
@@ -699,6 +821,25 @@ pub fn simulate_faulted(
             );
         }
     });
+
+    if obs.is_enabled() {
+        obs.add("netsim", "events", events);
+        obs.gauge("netsim", "peak_active")
+            .set_max(peak_active as u64);
+        obs.gauge("netsim", "fair_solves").set_max(fair.solves());
+        obs.gauge("netsim", "fair_solved_flows")
+            .set_max(fair.solved_flows());
+        obs.gauge("netsim", "fair_dense_solves")
+            .set_max(fair.dense_solves());
+        // The `faults` counters mirror the returned FaultStats exactly —
+        // consumers can cross-check metrics.json against the report.
+        obs.add("faults", "faults_applied", fstats.faults_applied);
+        obs.add("faults", "flows_aborted", fstats.aborted.len() as u64);
+        obs.add("faults", "lost_bytes", fstats.lost_bytes);
+        obs.add("faults", "delivered_bytes", fstats.delivered_bytes);
+        obs.add("faults", "rerouted_flows", fstats.rerouted_flows);
+        obs.add("faults", "diverged_runs", u64::from(fstats.diverged));
+    }
 
     SimReport {
         results: results
@@ -1211,6 +1352,35 @@ mod tests {
                 tag: 99,
             }]
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_mirrors_fault_stats() {
+        let topo = Topology::star(3, 1e9);
+        let flows = [flow(0, 2, 125_000_000, 0), flow(1, 2, 1_000_000, 800)];
+        let sched = schedule(vec![fault(500_000_000, FaultKind::NodeCrash { node: 2 })]);
+        let plain = run_static(&topo, &flows, &sched);
+        let obs = Obs::enabled();
+        let mut source = StaticSource::new(flows.to_vec());
+        let observed =
+            simulate_faulted_observed(&topo, &mut source, &sched, SimOptions::default(), &obs);
+        assert_eq!(plain.results, observed.results);
+        assert_eq!(plain.link_bytes, observed.link_bytes);
+        assert_eq!(plain.faults, observed.faults);
+        let snap = obs.metrics();
+        assert_eq!(
+            snap.counter("faults", "flows_aborted"),
+            observed.faults.aborted.len() as u64
+        );
+        assert_eq!(
+            snap.counter("faults", "lost_bytes"),
+            observed.faults.lost_bytes
+        );
+        assert_eq!(snap.counter("netsim", "flows_started"), 2);
+        assert!(snap.counter("des", "events_dispatched") >= observed.events);
+        let events = obs.trace_events();
+        assert!(events.iter().any(|e| e.kind == "fault_fire"));
+        assert!(events.iter().any(|e| e.kind == "flow_abort"));
     }
 
     #[test]

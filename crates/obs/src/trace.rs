@@ -1,0 +1,208 @@
+//! Structured event tracing: a deterministic, ring-buffered stream of
+//! [`TraceEvent`]s.
+//!
+//! Every event is derived purely from simulation state (simulated time,
+//! flow ids, byte counts), never from wall clocks, thread ids or memory
+//! addresses — so two runs under the same seed produce byte-identical
+//! streams, and a traced run can be diffed against a golden one.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+
+/// One structured trace event.
+///
+/// The schema is deliberately flat so the JSONL stream is greppable:
+/// one object per line, fixed field order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the event, nanoseconds.
+    pub t_nanos: u64,
+    /// Which subsystem emitted it (`des`, `netsim`, `faults`, `hadoop`,
+    /// `runner`, `flowcap`).
+    pub subsystem: String,
+    /// Event kind within the subsystem (`flow_arrive`, `fault_fire`, ...).
+    pub kind: String,
+    /// The flow the event concerns, if any (netsim arena index /
+    /// [`FlowId`](https://docs.rs) injection order).
+    pub flow_id: Option<u64>,
+    /// Free-form detail, derived from simulation state only.
+    pub detail: String,
+}
+
+/// A bounded ring buffer of trace events.
+///
+/// When full, the oldest event is dropped and counted — tracing a
+/// 100k-flow replay never exhausts memory, and the drop count is
+/// reported so a truncated stream is never mistaken for a complete one.
+///
+/// # Examples
+///
+/// ```
+/// use keddah_obs::{TraceEvent, Tracer};
+///
+/// let mut tracer = Tracer::new(2);
+/// for i in 0..3u64 {
+///     tracer.push(TraceEvent {
+///         t_nanos: i,
+///         subsystem: "netsim".into(),
+///         kind: "flow_arrive".into(),
+///         flow_id: Some(i),
+///         detail: String::new(),
+///     });
+/// }
+/// assert_eq!(tracer.len(), 2);
+/// assert_eq!(tracer.dropped(), 1);
+/// assert_eq!(tracer.events().next().unwrap().t_nanos, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    emitted: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+        self.emitted += 1;
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (buffered + dropped).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Writes the buffered events as JSONL, one event per line, oldest
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for event in &self.buf {
+            let line = serde::json::write_compact(&event.to_value());
+            writeln!(writer, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a JSONL event stream written by [`Tracer::write_jsonl`].
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn read_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = serde::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let event = TraceEvent::from_value(&value).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: &str) -> TraceEvent {
+        TraceEvent {
+            t_nanos: t,
+            subsystem: "netsim".into(),
+            kind: kind.into(),
+            flow_id: t.is_multiple_of(2).then_some(t),
+            detail: format!("t={t}"),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tracer = Tracer::new(3);
+        for i in 0..5 {
+            tracer.push(ev(i, "x"));
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+        assert_eq!(tracer.emitted(), 5);
+        let ts: Vec<u64> = tracer.events().map(|e| e.t_nanos).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut tracer = Tracer::new(16);
+        tracer.push(ev(1, "flow_arrive"));
+        tracer.push(ev(2, "flow_complete"));
+        let mut buf = Vec::new();
+        tracer.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"kind\":\"flow_arrive\""));
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back, vec![ev(1, "flow_arrive"), ev(2, "flow_complete")]);
+    }
+
+    #[test]
+    fn read_jsonl_reports_bad_lines() {
+        let err = read_jsonl("not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut tracer = Tracer::new(0);
+        tracer.push(ev(1, "x"));
+        tracer.push(ev(2, "x"));
+        assert_eq!(tracer.len(), 1);
+        assert_eq!(tracer.dropped(), 1);
+    }
+}

@@ -247,6 +247,22 @@ mod tests {
     }
 
     #[test]
+    fn two_tiny_samples_stay_finite() {
+        // Degenerate sample sizes (one or two points per side, the
+        // smallest a user-supplied trace can produce) exercise the
+        // effective-n correction where `ne < 1`; the statistic and
+        // p-value must stay finite and in range, never NaN.
+        let disjoint = ks_two_sample(&[1.0], &[2.0]).unwrap();
+        assert_eq!(disjoint.statistic, 1.0);
+        assert!((0.0..=1.0).contains(&disjoint.p_value), "{disjoint:?}");
+        let identical = ks_two_sample(&[1.0, 1.0], &[1.0]).unwrap();
+        assert_eq!(identical.statistic, 0.0);
+        assert!((identical.p_value - 1.0).abs() < 1e-12);
+        let two_each = ks_two_sample(&[1.0, 2.0], &[1.5, 2.5]).unwrap();
+        assert!(two_each.statistic.is_finite() && two_each.p_value.is_finite());
+    }
+
+    #[test]
     fn kolmogorov_sf_bounds() {
         assert_eq!(kolmogorov_sf(0.0), 1.0);
         assert_eq!(kolmogorov_sf(-1.0), 1.0);

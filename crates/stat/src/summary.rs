@@ -20,7 +20,13 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.sum(), 12.0);
 /// assert!((s.variance() - 8.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// An empty summary reports degenerate statistics as documented finite
+/// values — [`Summary::min`]/[`Summary::max`] are `None`,
+/// [`Summary::variance`]/[`Summary::std_dev`] are `0.0` below two
+/// observations — and its JSON form never contains the internal
+/// `±inf` running sentinels (see the manual `Serialize` impl), so
+/// report artefacts stay plain finite numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -28,6 +34,51 @@ pub struct Summary {
     min: f64,
     max: f64,
     sum: f64,
+}
+
+// Hand-written (de)serialization: the running `min`/`max` fields hold
+// `+inf`/`-inf` sentinels while the summary is empty, and those must not
+// leak into JSON artefacts (the vendored serde would render them as the
+// strings "inf"/"-inf"). An empty summary serializes min/max as 0.0 and
+// restores the sentinels on the way back in, so a round-tripped summary
+// still merges correctly.
+impl Serialize for Summary {
+    fn to_value(&self) -> serde::Value {
+        let (min, max) = if self.count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min, self.max)
+        };
+        serde::Value::Object(vec![
+            ("count".to_string(), self.count.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("m2".to_string(), self.m2.to_value()),
+            ("min".to_string(), min.to_value()),
+            ("max".to_string(), max.to_value()),
+            ("sum".to_string(), self.sum.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Summary {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Object(entries) = value else {
+            return Err(serde::Error::expected("Summary object", value));
+        };
+        let mut s = Summary {
+            count: serde::de_field(entries, "count", "Summary")?,
+            mean: serde::de_field(entries, "mean", "Summary")?,
+            m2: serde::de_field(entries, "m2", "Summary")?,
+            min: serde::de_field(entries, "min", "Summary")?,
+            max: serde::de_field(entries, "max", "Summary")?,
+            sum: serde::de_field(entries, "sum", "Summary")?,
+        };
+        if s.count == 0 {
+            s.min = f64::INFINITY;
+            s.max = f64::NEG_INFINITY;
+        }
+        Ok(s)
+    }
 }
 
 impl Summary {
@@ -88,7 +139,18 @@ impl Summary {
         self.mean
     }
 
-    /// Population variance; 0 if fewer than two observations.
+    /// Population variance.
+    ///
+    /// With fewer than two observations there is no spread to estimate,
+    /// so this is defined as `0.0` — never `NaN`:
+    ///
+    /// ```
+    /// use keddah_stat::Summary;
+    ///
+    /// assert_eq!(Summary::new().variance(), 0.0);
+    /// let one: Summary = [7.0].into_iter().collect();
+    /// assert_eq!(one.variance(), 0.0);
+    /// ```
     #[must_use]
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
@@ -98,22 +160,47 @@ impl Summary {
         }
     }
 
-    /// Population standard deviation.
+    /// Population standard deviation; `0.0` below two observations, like
+    /// [`Summary::variance`].
+    ///
+    /// ```
+    /// use keddah_stat::Summary;
+    ///
+    /// assert_eq!(Summary::new().std_dev(), 0.0);
+    /// ```
     #[must_use]
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
 
-    /// Minimum observed value; `+inf` if empty.
+    /// Minimum observed value; `None` if empty (the internal `+inf`
+    /// running sentinel never escapes).
+    ///
+    /// ```
+    /// use keddah_stat::Summary;
+    ///
+    /// assert_eq!(Summary::new().min(), None);
+    /// let s: Summary = [3.0, 1.0].into_iter().collect();
+    /// assert_eq!(s.min(), Some(1.0));
+    /// ```
     #[must_use]
-    pub fn min(&self) -> f64 {
-        self.min
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Maximum observed value; `-inf` if empty.
+    /// Maximum observed value; `None` if empty (the internal `-inf`
+    /// running sentinel never escapes).
+    ///
+    /// ```
+    /// use keddah_stat::Summary;
+    ///
+    /// assert_eq!(Summary::new().max(), None);
+    /// let s: Summary = [3.0, 1.0].into_iter().collect();
+    /// assert_eq!(s.max(), Some(3.0));
+    /// ```
     #[must_use]
-    pub fn max(&self) -> f64 {
-        self.max
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// Sum of all observations.
@@ -149,14 +236,15 @@ impl Extend<f64> for Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bound = |b: Option<f64>| b.map_or_else(|| "-".to_string(), |v| format!("{v:.4}"));
         write!(
             f,
-            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4} sum={:.4}",
+            "n={} mean={:.4} sd={:.4} min={} max={} sum={:.4}",
             self.count,
             self.mean,
             self.std_dev(),
-            self.min,
-            self.max,
+            bound(self.min()),
+            bound(self.max()),
             self.sum
         )
     }
@@ -172,7 +260,33 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
         assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn empty_summary_serializes_finite_and_roundtrips() {
+        // The ±inf running sentinels must never reach JSON artefacts.
+        let json = serde::json::write_compact(&Summary::new().to_value());
+        assert!(!json.contains("inf"), "sentinel leaked: {json}");
+        assert!(json.contains("\"min\":0"), "{json}");
+        let value = serde::json::parse(&json).unwrap();
+        let mut back = Summary::from_value(&value).unwrap();
+        assert_eq!(back, Summary::new());
+        // The restored sentinels still merge correctly.
+        back.merge(&[5.0].into_iter().collect());
+        assert_eq!(back.min(), Some(5.0));
+        assert_eq!(back.max(), Some(5.0));
+    }
+
+    #[test]
+    fn populated_summary_roundtrips() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        let json = serde::json::write_compact(&s.to_value());
+        let back = Summary::from_value(&serde::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]
@@ -181,8 +295,8 @@ mod tests {
         assert_eq!(s.count(), 5);
         assert_eq!(s.mean(), 3.0);
         assert_eq!(s.variance(), 2.0);
-        assert_eq!(s.min(), 1.0);
-        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
         assert_eq!(s.sum(), 15.0);
     }
 
@@ -214,5 +328,8 @@ mod tests {
     fn display_is_nonempty() {
         let s: Summary = [1.0].into_iter().collect();
         assert!(format!("{s}").contains("n=1"));
+        let empty = format!("{}", Summary::new());
+        assert!(empty.contains("min=- max=-"), "{empty}");
+        assert!(!empty.contains("inf"), "{empty}");
     }
 }

@@ -4,15 +4,19 @@ use std::fs;
 use std::path::PathBuf;
 
 use keddah_faults::FaultSpec;
+use keddah_flowcap::classify::classify_all;
+use keddah_flowcap::tcpdump::read_text_lenient;
+use keddah_flowcap::FlowAssembler;
 use keddah_hadoop::{run_job_with_packets_faulted, ClusterSpec, HadoopConfig, JobSpec, Workload};
 
-use super::{err, Args, Result};
+use super::{err, obs_out, Args, Result};
 
 const HELP: &str = "\
 keddah capture — run simulated Hadoop jobs and write capture traces
 
 USAGE:
     keddah capture --workload <NAME> [FLAGS]
+    keddah capture --packets-in <FILE> [FLAGS]
 
 FLAGS:
     --workload <NAME>      wordcount|terasort|pagerank|kmeans|bayes|grep (required)
@@ -27,9 +31,15 @@ FLAGS:
     --jobs <N>             simulate repeats on N threads [default: 1]
     --out <DIR>            output directory             [default: .]
     --packets-out <DIR>    also write tcpdump-style packet text here
+    --packets-in <FILE>    ingest tcpdump-style packet text instead of
+                           simulating: assemble and classify flows,
+                           counting (not dying on) malformed lines
     --faults <FILE>        inject this fault schedule into every run
                            (node crashes/recoveries; see `keddah faults`);
                            failure counters land in the trace metadata
+    --trace-out <FILE>     write ring-buffered trace events as JSONL
+    --metrics-out <FILE>   write a metrics snapshot as JSON
+                           (render either with `keddah stats`)
 
 Each repeat runs under seed, seed+1, ... regardless of --jobs: the
 parallelism changes wall-clock time, never the captures.";
@@ -47,8 +57,67 @@ const FLAGS: &[&str] = &[
     "jobs",
     "out",
     "packets-out",
+    "packets-in",
     "faults",
+    obs_out::TRACE_OUT,
+    obs_out::METRICS_OUT,
 ];
+
+/// `--packets-in` mode: parse external tcpdump-style text into
+/// classified flows, tolerating (and metering) corrupt lines.
+fn ingest(args: &Args, path: &str) -> Result<()> {
+    let obs = obs_out::obs_from_args(args);
+    let file = fs::File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    let parsed = read_text_lenient(std::io::BufReader::new(file))
+        .map_err(|e| err(format!("reading {path}: {e}")))?;
+    obs.add("flowcap", "packets_parsed", parsed.packets.len() as u64);
+    obs.add("flowcap", "parse_errors", parsed.parse_errors());
+    for (line, message) in parsed.errors.iter().take(5) {
+        eprintln!("  {path}:{line}: {message}");
+        obs.trace(0, "flowcap", "parse_error", None, || {
+            format!("line {line}: {message}")
+        });
+    }
+    if parsed.errors.len() > 5 {
+        eprintln!(
+            "  ... and {} more malformed line(s)",
+            parsed.errors.len() - 5
+        );
+    }
+
+    let mut assembler = FlowAssembler::new();
+    assembler.extend(parsed.packets.iter().cloned());
+    let mut flows = assembler.finish();
+    classify_all(&mut flows);
+    obs.add("flowcap", "flows_assembled", flows.len() as u64);
+    let total_bytes: u64 = flows
+        .iter()
+        .map(keddah_flowcap::FlowRecord::total_bytes)
+        .sum();
+    obs.add("flowcap", "flow_bytes", total_bytes);
+
+    println!(
+        "ingested {} packet(s) from {path}: {} flow(s), {:.2} MB, {} malformed line(s)",
+        parsed.packets.len(),
+        flows.len(),
+        total_bytes as f64 / 1e6,
+        parsed.parse_errors()
+    );
+    let mut by_component: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for flow in &flows {
+        let name = flow.component.map_or("unclassified", |c| c.name());
+        let slot = by_component.entry(name).or_default();
+        slot.0 += 1;
+        slot.1 += flow.total_bytes();
+    }
+    for (name, (count, bytes)) in &by_component {
+        println!(
+            "  {name:<12} {count:>6} flow(s) {:>12.2} MB",
+            *bytes as f64 / 1e6
+        );
+    }
+    obs_out::write_artifacts(&obs, args)
+}
 
 /// Runs the subcommand.
 ///
@@ -62,6 +131,12 @@ pub fn run(args: &Args) -> Result<()> {
         return Ok(());
     }
     args.check_known(FLAGS)?;
+    if let Some(path) = args.get("packets-in") {
+        if args.get("workload").is_some() {
+            return Err(err("--packets-in ingests a file; drop --workload"));
+        }
+        return ingest(args, path);
+    }
     let workload_name = args.require("workload")?;
     let workload = Workload::from_name(workload_name).ok_or_else(|| {
         err(format!(
@@ -159,8 +234,33 @@ pub fn run(args: &Args) -> Result<()> {
         }
         slots
     };
+    // Record in seed order, from the deterministically collected runs,
+    // so artefacts are identical for any --jobs value.
+    let obs = obs_out::obs_from_args(args);
     for (&run_seed, slot) in seeds.iter().zip(runs) {
         let (run, packets) = slot.expect("every repeat completed");
+        run.counters.record_obs(&obs);
+        obs.add("capture", "runs", 1);
+        obs.add("capture", "flows", run.trace.len() as u64);
+        obs.add("capture", "bytes", run.trace.total_bytes());
+        if obs.is_enabled() {
+            obs.histogram("capture", "run_duration_secs")
+                .observe(run.duration.as_secs_f64());
+        }
+        obs.trace(
+            run.duration.as_nanos(),
+            "hadoop",
+            "job_complete",
+            None,
+            || {
+                format!(
+                    "seed={run_seed} flows={} bytes={} makespan={:.3}s",
+                    run.trace.len(),
+                    run.trace.total_bytes(),
+                    run.duration.as_secs_f64()
+                )
+            },
+        );
         let stem = format!(
             "{}_{:.0}gb_r{}_seed{}",
             workload.name(),
@@ -201,5 +301,5 @@ pub fn run(args: &Args) -> Result<()> {
             );
         }
     }
-    Ok(())
+    obs_out::write_artifacts(&obs, args)
 }

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use keddah_core::runner::{MatrixCell, Runner};
 use keddah_hadoop::{ClusterSpec, HadoopConfig, Workload};
 
-use super::{err, Args, Result};
+use super::{err, obs_out, Args, Result};
 
 const HELP: &str = "\
 keddah matrix — run a workload/configuration matrix across CPU cores
@@ -26,7 +26,11 @@ FLAGS:
     --jobs <N>             worker threads                   [default: CPU cores]
     --racks <N>            racks of workers                 [default: 4]
     --nodes-per-rack <N>   workers per rack                 [default: 5]
-    --out <FILE>           write cell results as JSON";
+    --out <FILE>           write cell results as JSON
+    --metrics-out <FILE>   write per-cell metrics folded into one JSON
+                           snapshot (render with `keddah stats`); the
+                           fold runs over collected results in cell
+                           order, so it is identical for any --jobs";
 
 const FLAGS: &[&str] = &[
     "workloads",
@@ -37,6 +41,7 @@ const FLAGS: &[&str] = &[
     "racks",
     "nodes-per-rack",
     "out",
+    obs_out::METRICS_OUT,
 ];
 
 /// The default worker count: one per available core.
@@ -113,7 +118,8 @@ pub fn run(args: &Args) -> Result<()> {
         cluster.worker_count()
     );
     let runner = Runner::new(cluster);
-    let results = runner.run_matrix(&cells, jobs);
+    let obs = obs_out::obs_from_args(args);
+    let results = runner.run_matrix_observed(&cells, jobs, &obs);
 
     println!(
         "{:<10} {:>7} {:>9} | {:>8} {:>12} {:>10} {:>6}",
@@ -146,5 +152,5 @@ pub fn run(args: &Args) -> Result<()> {
             path.display()
         );
     }
-    Ok(())
+    obs_out::write_artifacts(&obs, args)
 }

@@ -9,7 +9,9 @@ mod generate;
 mod inspect;
 mod matrix;
 mod mix;
+mod obs_out;
 mod replay;
+mod stats;
 mod topo_spec;
 mod validate;
 
@@ -60,6 +62,7 @@ COMMANDS:
     replay     replay generated or captured traffic on a topology
     faults     generate and inspect fault schedules for degraded runs
     validate   compare generated traffic against capture traces
+    stats      render metrics snapshots written by --metrics-out
     help       show this message
 
 Run `keddah <COMMAND> --help` for per-command flags.";
@@ -86,6 +89,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "replay" => replay::run(&Args::parse(rest)?),
         "faults" => faults::run(&Args::parse(rest)?),
         "validate" => validate::run(&Args::parse(rest)?),
+        "stats" => stats::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

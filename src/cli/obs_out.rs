@@ -1,0 +1,63 @@
+//! Shared `--trace-out` / `--metrics-out` plumbing.
+//!
+//! Subcommands that thread an [`Obs`] handle through a run share two
+//! conventions:
+//!
+//! * observability is **opt-in**: the handle records only when at least
+//!   one artefact flag is present, so plain invocations keep their
+//!   pre-obs profile;
+//! * artefact notes go to **stderr**, so stdout (reports, tables) stays
+//!   byte-identical with or without the flags — that byte-identity is
+//!   pinned by `tests/obs_determinism.rs`.
+
+use std::fs;
+
+use keddah_obs::Obs;
+
+use super::{err, Args, Result};
+
+/// The artefact flags a subcommand adds to its `FLAGS` list.
+pub const TRACE_OUT: &str = "trace-out";
+/// See [`TRACE_OUT`].
+pub const METRICS_OUT: &str = "metrics-out";
+
+/// Builds the run's observability handle: recording iff `--trace-out`
+/// or `--metrics-out` was given.
+#[must_use]
+pub fn obs_from_args(args: &Args) -> Obs {
+    if args.get(TRACE_OUT).is_some() || args.get(METRICS_OUT).is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Writes whichever artefacts were requested, with a stderr note each.
+///
+/// # Errors
+///
+/// Returns an error if an artefact file cannot be written.
+pub fn write_artifacts(obs: &Obs, args: &Args) -> Result<()> {
+    if let Some(path) = args.get(TRACE_OUT) {
+        let file = fs::File::create(path).map_err(|e| err(format!("cannot create {path}: {e}")))?;
+        obs.write_trace_jsonl(std::io::BufWriter::new(file))
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        let dropped = obs.trace_dropped();
+        let kept = obs.trace_events().len();
+        if dropped > 0 {
+            eprintln!("wrote {kept} trace event(s) to {path} ({dropped} oldest dropped by ring)");
+        } else {
+            eprintln!("wrote {kept} trace event(s) to {path}");
+        }
+    }
+    if let Some(path) = args.get(METRICS_OUT) {
+        let snapshot = obs.metrics();
+        fs::write(path, snapshot.to_json() + "\n")
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        eprintln!(
+            "wrote metrics for {} subsystem(s) to {path}",
+            snapshot.subsystems.len()
+        );
+    }
+    Ok(())
+}

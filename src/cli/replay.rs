@@ -3,16 +3,17 @@
 use std::fs;
 
 use keddah_core::replay::{
-    replay_faulted, replay_jobs, replay_model_closed, replay_model_closed_faulted, replay_trace,
-    replay_trace_closed, replay_trace_closed_faulted, replay_trace_faulted, ReplayReport,
+    jobs_to_flows, replay_faulted_observed, replay_observed, replay_source_faulted_observed,
+    replay_source_observed, trace_to_flows, ReplayReport,
 };
 use keddah_core::validate::compare_replays;
-use keddah_core::{FaultSpec, KeddahModel};
+use keddah_core::{FaultSpec, KeddahModel, ModelSource, TraceSource};
 use keddah_flowcap::Trace;
 use keddah_netsim::SimOptions;
+use keddah_obs::Obs;
 
 use super::topo_spec::parse_topology;
-use super::{err, Args, Result};
+use super::{err, obs_out, Args, Result};
 
 const HELP: &str = "\
 keddah replay — replay generated or captured traffic on a topology
@@ -36,7 +37,11 @@ FLAGS:
                         pre-computed start times
     --faults <FILE>     inject this fault schedule (see `keddah faults`)
                         and also run the fault-free baseline, reporting
-                        per-component deltas between the two";
+                        per-component deltas between the two
+    --trace-out <FILE>    write ring-buffered trace events as JSONL
+    --metrics-out <FILE>  write a metrics snapshot as JSON
+                          (render either with `keddah stats`; with
+                          --faults, the faulted run is the observed one)";
 
 const FLAGS: &[&str] = &[
     "model",
@@ -48,6 +53,8 @@ const FLAGS: &[&str] = &[
     "mouse-bytes",
     "closed-loop",
     "faults",
+    obs_out::TRACE_OUT,
+    obs_out::METRICS_OUT,
 ];
 
 /// Runs the subcommand.
@@ -78,6 +85,18 @@ pub fn run(args: &Args) -> Result<()> {
         None => None,
     };
 
+    // The obs handle records the run whose report gets printed: the
+    // faulted run when --faults is given, otherwise the baseline. The
+    // other run stays unobserved so artefacts describe one run, not a
+    // mixture.
+    let obs = obs_out::obs_from_args(args);
+    let disabled = Obs::disabled();
+    let (base_obs, fault_obs) = if spec.is_some() {
+        (&disabled, &obs)
+    } else {
+        (&obs, &disabled)
+    };
+
     // With --faults, the baseline (fault-free) replay runs alongside the
     // faulted one so per-component deltas can be reported.
     let (baseline, faulted): (ReplayReport, Option<ReplayReport>) =
@@ -93,13 +112,18 @@ pub fn run(args: &Args) -> Result<()> {
                 let seed = args.get_num("seed", 1u64)?;
                 let stagger = args.get_num("stagger-secs", 10.0f64)?;
                 if closed_loop {
-                    let base = replay_model_closed(&model, &topo, jobs, seed, stagger, options)
+                    let base = ModelSource::new(&model, jobs, seed, stagger, &topo)
+                        .map(|mut src| replay_source_observed(&topo, &mut src, options, base_obs))
                         .map_err(|e| err(e.to_string()))?;
                     let faulted = spec
                         .as_ref()
                         .map(|s| {
-                            replay_model_closed_faulted(
-                                &model, &topo, jobs, seed, stagger, s, options,
+                            ModelSource::new(&model, jobs, seed, stagger, &topo).and_then(
+                                |mut src| {
+                                    replay_source_faulted_observed(
+                                        &topo, &mut src, s, options, fault_obs,
+                                    )
+                                },
                             )
                         })
                         .transpose()
@@ -107,13 +131,11 @@ pub fn run(args: &Args) -> Result<()> {
                     (base, faulted)
                 } else {
                     let jobs = model.generate_jobs(jobs, seed, stagger);
-                    let flows = keddah_core::replay::jobs_to_flows(&jobs, &topo)
-                        .map_err(|e| err(e.to_string()))?;
-                    let base =
-                        replay_jobs(&jobs, &topo, options).map_err(|e| err(e.to_string()))?;
+                    let flows = jobs_to_flows(&jobs, &topo).map_err(|e| err(e.to_string()))?;
+                    let base = replay_observed(&topo, &flows, options, base_obs);
                     let faulted = spec
                         .as_ref()
-                        .map(|s| replay_faulted(&topo, &flows, s, options))
+                        .map(|s| replay_faulted_observed(&topo, &flows, s, options, fault_obs))
                         .transpose()
                         .map_err(|e| err(e.to_string()))?;
                     (base, faulted)
@@ -124,21 +146,37 @@ pub fn run(args: &Args) -> Result<()> {
                     .map_err(|e| err(format!("cannot open {trace_path}: {e}")))?;
                 let trace = Trace::read_jsonl(std::io::BufReader::new(file))
                     .map_err(|e| err(format!("cannot parse {trace_path}: {e}")))?;
+                // Capture traces carry the simulator's ground-truth job
+                // counters in their metadata; surface them under the
+                // "hadoop" subsystem so replay artefacts can be checked
+                // against the capture they replay.
+                if let Some(counters) = &trace.meta().counters {
+                    for (name, value) in counters {
+                        obs.add("hadoop", name, *value);
+                    }
+                }
                 if closed_loop {
-                    let base = replay_trace_closed(&trace, &topo, options)
+                    let base = TraceSource::new(&trace, &topo)
+                        .map(|mut src| replay_source_observed(&topo, &mut src, options, base_obs))
                         .map_err(|e| err(e.to_string()))?;
                     let faulted = spec
                         .as_ref()
-                        .map(|s| replay_trace_closed_faulted(&trace, &topo, s, options))
+                        .map(|s| {
+                            TraceSource::new(&trace, &topo).and_then(|mut src| {
+                                replay_source_faulted_observed(
+                                    &topo, &mut src, s, options, fault_obs,
+                                )
+                            })
+                        })
                         .transpose()
                         .map_err(|e| err(e.to_string()))?;
                     (base, faulted)
                 } else {
-                    let base =
-                        replay_trace(&trace, &topo, options).map_err(|e| err(e.to_string()))?;
+                    let flows = trace_to_flows(&trace, &topo).map_err(|e| err(e.to_string()))?;
+                    let base = replay_observed(&topo, &flows, options, base_obs);
                     let faulted = spec
                         .as_ref()
-                        .map(|s| replay_trace_faulted(&trace, &topo, s, options))
+                        .map(|s| replay_faulted_observed(&topo, &flows, s, options, fault_obs))
                         .transpose()
                         .map_err(|e| err(e.to_string()))?;
                     (base, faulted)
@@ -165,7 +203,7 @@ pub fn run(args: &Args) -> Result<()> {
     );
     for (component, fcts) in &report.fct_by_component {
         let mut sorted = fcts.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
         println!(
             "{:<12} {:>8} {:>10.4} {:>10.4} {:>10.4}",
@@ -213,5 +251,5 @@ pub fn run(args: &Args) -> Result<()> {
             Err(e) => println!("  (no comparable components: {e})"),
         }
     }
-    Ok(())
+    obs_out::write_artifacts(&obs, args)
 }

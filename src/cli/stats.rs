@@ -1,0 +1,108 @@
+//! `keddah stats` — render a metrics snapshot as a per-subsystem table.
+
+use std::fs;
+
+use keddah_obs::MetricsSnapshot;
+
+use super::{err, Args, Result};
+
+const HELP: &str = "\
+keddah stats — render metrics snapshots written by --metrics-out
+
+Counters and gauges print as plain values; histograms print their
+moment summary (the log2 buckets stay in the JSON). Several files
+merge before rendering — counters add, gauges keep the maximum,
+histogram summaries combine — so per-run artefacts can be folded
+into one view.
+
+USAGE:
+    keddah stats <METRICS.json> [MORE.json ...]";
+
+const FLAGS: &[&str] = &[];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns an error when no file is given or a file cannot be read or
+/// parsed.
+pub fn run(args: &Args) -> Result<()> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    args.check_known(FLAGS)?;
+    let files = args.positional();
+    if files.is_empty() {
+        return Err(err(
+            "need at least one metrics file; run `keddah stats --help`",
+        ));
+    }
+    let mut merged = MetricsSnapshot::default();
+    for path in files {
+        let json = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let snapshot = MetricsSnapshot::from_json(&json)
+            .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+        merged.merge(&snapshot);
+    }
+    print!("{}", render(&merged));
+    Ok(())
+}
+
+/// Renders the table; split from [`run`] so tests can assert on it.
+fn render(snapshot: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    let _ = writeln!(out, "{:<10} {:<24} {:>14}", "subsystem", "metric", "value");
+    for (subsystem, metrics) in &snapshot.subsystems {
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "{subsystem:<10} {name:<24} {value:>14}");
+        }
+        for (name, value) in &metrics.gauges {
+            let label = format!("{name} (gauge)");
+            let _ = writeln!(out, "{subsystem:<10} {label:<24} {value:>14}");
+        }
+        for (name, hist) in &metrics.histograms {
+            let label = format!("{name} (hist)");
+            let _ = writeln!(out, "{subsystem:<10} {label:<24} {}", hist.summary);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keddah_obs::Obs;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let obs = Obs::enabled();
+        obs.add("netsim", "flows_started", 3);
+        obs.gauge("netsim", "peak_active").set(2);
+        obs.histogram("netsim", "fct_us").observe(10.0);
+        let table = render(&obs.metrics());
+        assert!(table.contains("flows_started"), "{table}");
+        assert!(table.contains("peak_active (gauge)"), "{table}");
+        assert!(table.contains("fct_us (hist)"), "{table}");
+        assert!(table.contains("n=1"), "{table}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert_eq!(
+            render(&MetricsSnapshot::default()),
+            "(no metrics recorded)\n"
+        );
+    }
+
+    #[test]
+    fn no_files_is_an_error() {
+        let e = run(&Args::parse(&[]).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("at least one metrics file"));
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`hadoop`] | `keddah-hadoop` | Hadoop cluster simulator (HDFS + YARN + MapReduce) |
 //! | [`netsim`] | `keddah-netsim` | Flow-level network simulator with DC topologies |
 //! | [`faults`] | `keddah-faults` | Deterministic fault schedules for degraded-mode runs |
+//! | [`obs`] | `keddah-obs` | Event tracing + metrics registry, zero-cost when disabled |
 //! | [`core`] | `keddah-core` | The Keddah pipeline: capture → model → generate → replay |
 //!
 //! # Quickstart
@@ -49,4 +50,5 @@ pub use keddah_faults as faults;
 pub use keddah_flowcap as flowcap;
 pub use keddah_hadoop as hadoop;
 pub use keddah_netsim as netsim;
+pub use keddah_obs as obs;
 pub use keddah_stat as stat;

@@ -271,11 +271,190 @@ fn faults_gen_show_and_degraded_replay() {
 #[test]
 fn help_everywhere() {
     for cmd in [
-        "capture", "fit", "inspect", "generate", "replay", "validate", "faults",
+        "capture", "fit", "inspect", "generate", "replay", "validate", "faults", "stats", "matrix",
     ] {
         run(&[cmd, "--help"]).expect("help succeeds");
     }
     run(&["help"]).expect("top-level help");
+}
+
+#[test]
+fn replay_writes_obs_artifacts() {
+    let dir = tmp_dir("obs-replay");
+    let fixture = format!(
+        "{}/tests/fixtures/terasort_nodefail.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let spec = dir.join("crash.json");
+    let crash = keddah::faults::FaultSpec {
+        faults: vec![keddah::faults::TimedFault {
+            at_nanos: 2_000_000_000,
+            kind: keddah::faults::FaultKind::NodeCrash { node: 2 },
+        }],
+    };
+    std::fs::write(&spec, crash.to_json()).expect("write spec");
+    let events = dir.join("events.jsonl");
+    let metrics = dir.join("metrics.json");
+    run(&[
+        "replay",
+        "--trace",
+        &fixture,
+        "--topology",
+        "leaf-spine:3x3x2:1gbps:2",
+        "--faults",
+        spec.to_str().unwrap(),
+        "--trace-out",
+        events.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ])
+    .expect("observed faulted replay succeeds");
+
+    // The trace artefact is parseable JSONL and records fault firings.
+    let raw = std::fs::read_to_string(&events).expect("trace written");
+    let parsed = keddah::obs::read_jsonl(&raw).expect("trace parses");
+    assert!(!parsed.is_empty());
+    assert!(
+        parsed.iter().any(|e| e.kind == "fault_fire"),
+        "fault traced"
+    );
+    assert!(
+        parsed.iter().any(|e| e.kind == "dispatch"),
+        "dispatch traced"
+    );
+
+    // The metrics artefact parses, carries netsim/faults counters, and
+    // surfaces the capture's embedded hadoop job counters.
+    let snap = keddah::obs::MetricsSnapshot::from_json(
+        &std::fs::read_to_string(&metrics).expect("metrics written"),
+    )
+    .expect("metrics parse");
+    assert!(snap.counter("netsim", "flows_started") > 0);
+    assert_eq!(snap.counter("faults", "faults_applied"), 1);
+    assert_eq!(snap.counter("hadoop", "node_crashes"), 1);
+    assert_eq!(snap.counter("hadoop", "rereplicated_blocks"), 4);
+
+    // `keddah stats` renders both artefact kinds without error.
+    run(&["stats", metrics.to_str().unwrap()]).expect("stats renders");
+    run(&[
+        "stats",
+        metrics.to_str().unwrap(),
+        metrics.to_str().unwrap(),
+    ])
+    .expect("stats merges multiple files");
+    assert!(run(&["stats"]).unwrap_err().contains("metrics file"));
+    assert!(run(&["stats", "/nonexistent.json"])
+        .unwrap_err()
+        .contains("cannot read"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn capture_ingests_corrupt_packet_text_without_dying() {
+    let dir = tmp_dir("obs-ingest");
+    let packets = dir.join("mixed.txt");
+    std::fs::write(
+        &packets,
+        "1.000000 IP node0.40000 > node1.50010: Flags [S], length 128\n\
+         this line is kernel noise, not a packet\n\
+         1.000500 IP node1.50010 > node0.40000: Flags [.], length 65536\n\
+         1.000900 IP node0.40000 > nod",
+    )
+    .expect("write packets");
+    let metrics = dir.join("metrics.json");
+    run(&[
+        "capture",
+        "--packets-in",
+        packets.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ])
+    .expect("corrupt input ingests cleanly");
+    let snap = keddah::obs::MetricsSnapshot::from_json(
+        &std::fs::read_to_string(&metrics).expect("metrics written"),
+    )
+    .expect("metrics parse");
+    assert_eq!(snap.counter("flowcap", "parse_errors"), 2);
+    assert_eq!(snap.counter("flowcap", "packets_parsed"), 2);
+    assert_eq!(snap.counter("flowcap", "flows_assembled"), 1);
+
+    // Mode conflicts and missing files are real errors.
+    assert!(run(&[
+        "capture",
+        "--packets-in",
+        packets.to_str().unwrap(),
+        "--workload",
+        "grep"
+    ])
+    .unwrap_err()
+    .contains("drop --workload"));
+    assert!(run(&["capture", "--packets-in", "/nonexistent.txt"])
+        .unwrap_err()
+        .contains("cannot open"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn capture_and_matrix_write_metrics() {
+    let dir = tmp_dir("obs-capture");
+    let metrics = dir.join("capture-metrics.json");
+    run(&[
+        "capture",
+        "--workload",
+        "grep",
+        "--input-gb",
+        "0.1",
+        "--racks",
+        "1",
+        "--nodes-per-rack",
+        "3",
+        "--reducers",
+        "2",
+        "--repeats",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ])
+    .expect("observed capture succeeds");
+    let snap = keddah::obs::MetricsSnapshot::from_json(
+        &std::fs::read_to_string(&metrics).expect("metrics written"),
+    )
+    .expect("metrics parse");
+    assert_eq!(snap.counter("capture", "runs"), 2);
+    assert!(snap.counter("hadoop", "maps") > 0);
+
+    let m1 = dir.join("matrix-1.json");
+    let m8 = dir.join("matrix-8.json");
+    for (jobs, out) in [("1", &m1), ("8", &m8)] {
+        run(&[
+            "matrix",
+            "--workloads",
+            "grep",
+            "--sizes-gb",
+            "0.1",
+            "--reducers",
+            "2",
+            "--repeats",
+            "1",
+            "--racks",
+            "1",
+            "--nodes-per-rack",
+            "3",
+            "--jobs",
+            jobs,
+            "--metrics-out",
+            out.to_str().unwrap(),
+        ])
+        .expect("observed matrix succeeds");
+    }
+    // Same cells, different worker counts: byte-identical artefacts.
+    assert_eq!(
+        std::fs::read_to_string(&m1).expect("jobs=1 metrics"),
+        std::fs::read_to_string(&m8).expect("jobs=8 metrics")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
