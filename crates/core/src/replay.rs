@@ -23,6 +23,15 @@
 //! re-route or degrade them — see [`keddah_netsim::simulate_faulted`]).
 //! Aborted flows are excluded from the per-component FCT samples; an
 //! empty spec is byte-identical to the fault-free entry points.
+//!
+//! Every entry point takes [`SimOptions`], whose performance knobs —
+//! [`SimOptions::aggregate`] (flow bundles, `KEDDAH_NO_AGGREGATE` to
+//! disable), [`SimOptions::solver_jobs`] (parallel fair-share component
+//! solves, `KEDDAH_SEQ_SOLVE` to force sequential) and
+//! [`SimOptions::full_recompute`] (`KEDDAH_FULL_RECOMPUTE`) — trade
+//! wall-clock only: replay reports are byte-identical at every knob
+//! setting, which is what lets DC-scale replays default to the fast
+//! path while the golden corpus pins correctness against the oracles.
 
 use std::collections::{BTreeMap, HashSet};
 

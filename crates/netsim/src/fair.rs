@@ -38,7 +38,42 @@
 //! `fair_share_state_matches_full_recompute` pins this with exact
 //! (bitwise) equality, well inside the 1e-9 budget.
 //!
+//! # Weighted entries (flow bundles)
+//!
+//! [`insert_weighted`] registers one entry standing for `w` identical
+//! flows — same links, same (per-member) rate. The weighted solve is
+//! bit-identical to inserting the `w` members individually:
+//!
+//! * members of a bundle share one link set, so in the per-flow solve
+//!   they are symmetric: all freeze in the same round at the same share;
+//! * a link's unfrozen count under weights is the sum of member counts —
+//!   the same integer the per-flow solve divides by;
+//! * freezing a weight-`w` entry performs `w` literal
+//!   `(remaining - share).max(0.0)` subtractions per crossed link — the
+//!   member-wise rounding sequence — and within one freeze round every
+//!   subtraction uses the *same* share value, so interleaving members of
+//!   different bundles (as the per-flow solve may) cannot change any
+//!   intermediate, let alone the result.
+//!
+//! The only shortcut taken: when a freeze drops a link's unfrozen count
+//! to zero, its `remaining` is never read again this solve, so the
+//! member-wise drain is skipped. That makes single-bundle components
+//! O(links) instead of O(members), which is what keeps million-flow
+//! bundles solvable per event. The `aggregated_rates_match_per_flow`
+//! proptest pins the bitwise equivalence.
+//!
+//! # Parallel component solves
+//!
+//! [`with_parallel`](FairShareState::with_parallel) lets the dense
+//! (full-refill) path solve independent components on scoped threads.
+//! Components are link-disjoint, so their solves share no state; results
+//! are merged in ascending component index. By the equivalence argument
+//! above the rates are bit-identical at any thread count — the
+//! determinism suite pins solver width (and the `KEDDAH_SEQ_SOLVE`
+//! oracle) as a no-op on replay output.
+//!
 //! [`insert_flow`]: FairShareState::insert_flow
+//! [`insert_weighted`]: FairShareState::insert_weighted
 //! [`remove_flow`]: FairShareState::remove_flow
 
 /// Computes max-min fair rates (bits/s) for a set of flows.
@@ -147,6 +182,9 @@ pub struct FairFlowId(pub u32);
 #[derive(Debug, Clone, Default)]
 struct FlowSlot {
     links: Vec<u32>,
+    /// Member flows this entry stands for (1 = a plain flow; >1 = a
+    /// bundle of identical flows sharing the link set and the rate).
+    weight: u32,
     alive: bool,
 }
 
@@ -188,13 +226,17 @@ pub struct FairShareState {
     slots: Vec<FlowSlot>,
     rates: Vec<f64>,
     free: Vec<u32>,
-    /// link -> active flows crossing it, one entry per crossing (a flow
-    /// listing a link twice appears twice).
+    /// link -> active entries crossing it, one entry per crossing (an
+    /// entry listing a link twice appears twice).
     link_flows: Vec<Vec<u32>>,
-    /// Active flows, local (link-less) ones included.
+    /// Active member flows (weights summed), local (link-less) included.
     active: usize,
-    /// Active flows that traverse at least one link.
+    /// Active *entries* (not members) that traverse at least one link —
+    /// the dense-fallback heuristic's denominator.
     active_on_links: usize,
+    /// Scoped threads the dense path may fan components out over
+    /// (1 = sequential). Rates are identical at any width.
+    parallel: usize,
 
     // Stamped scratch maps: an entry is valid iff its stamp equals
     // `stamp`, so per-solve clearing is O(touched), not O(total).
@@ -203,10 +245,6 @@ pub struct FairShareState {
     flow_local: Vec<u32>,
     link_mark: Vec<u64>,
     link_local: Vec<u32>,
-
-    // Dense-fill scratch, reused across solves.
-    dense_remaining: Vec<f64>,
-    dense_unfrozen: Vec<u32>,
 
     // Instrumentation for benches and the DESIGN ablation.
     solves: u64,
@@ -231,13 +269,12 @@ impl FairShareState {
             link_flows: vec![Vec::new(); n_links],
             active: 0,
             active_on_links: 0,
+            parallel: 1,
             stamp: 0,
             flow_mark: Vec::new(),
             flow_local: Vec::new(),
             link_mark: vec![0; n_links],
             link_local: vec![0; n_links],
-            dense_remaining: vec![0.0; n_links],
-            dense_unfrozen: vec![0; n_links],
             solves: 0,
             solved_flows: 0,
             dense_solves: 0,
@@ -262,6 +299,15 @@ impl FairShareState {
         self
     }
 
+    /// Lets dense refills solve independent components on up to `jobs`
+    /// scoped threads (see the module's parallel-solve section). Rates
+    /// are bit-identical at any width; 1 (the default) is sequential.
+    #[must_use]
+    pub fn with_parallel(mut self, jobs: usize) -> Self {
+        self.parallel = jobs.max(1);
+        self
+    }
+
     /// Registers a flow crossing `links` and re-solves the affected
     /// component. An empty link list is a host-local flow, allocated the
     /// local rate immediately.
@@ -270,6 +316,19 @@ impl FairShareState {
     ///
     /// Panics if a link index is out of range.
     pub fn insert_flow(&mut self, links: &[u32]) -> FairFlowId {
+        self.insert_weighted(links, 1)
+    }
+
+    /// Registers a *bundle*: one entry standing for `weight` identical
+    /// flows crossing `links`. The entry's rate is the **per-member**
+    /// rate, bit-identical to inserting the members individually (see
+    /// the module's weighted-entries section).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link index is out of range or `weight` is zero.
+    pub fn insert_weighted(&mut self, links: &[u32], weight: u32) -> FairFlowId {
+        assert!(weight > 0, "a fair-share entry needs at least one member");
         for &l in links {
             assert!(
                 (l as usize) < self.capacities.len(),
@@ -279,11 +338,13 @@ impl FairShareState {
         let id = if let Some(slot) = self.free.pop() {
             self.slots[slot as usize].links.clear();
             self.slots[slot as usize].links.extend_from_slice(links);
+            self.slots[slot as usize].weight = weight;
             self.slots[slot as usize].alive = true;
             slot
         } else {
             self.slots.push(FlowSlot {
                 links: links.to_vec(),
+                weight,
                 alive: true,
             });
             self.rates.push(0.0);
@@ -291,7 +352,7 @@ impl FairShareState {
             self.flow_local.push(0);
             (self.slots.len() - 1) as u32
         };
-        self.active += 1;
+        self.active += weight as usize;
         if links.is_empty() {
             self.rates[id as usize] = self.local_bps;
             return FairFlowId(id);
@@ -302,6 +363,68 @@ impl FairShareState {
         }
         self.resolve_around(&[id]);
         FairFlowId(id)
+    }
+
+    /// Adds `dw` members to a bundle and re-solves its component —
+    /// equivalent to `dw` individual [`insert_flow`](Self::insert_flow)
+    /// calls with the bundle's link set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or `dw` is zero.
+    pub fn add_weight(&mut self, id: FairFlowId, dw: u32) {
+        let slot = id.0 as usize;
+        assert!(
+            self.slots.get(slot).is_some_and(|s| s.alive),
+            "add_weight on stale handle {id:?}"
+        );
+        assert!(dw > 0, "weight delta must be positive");
+        self.slots[slot].weight += dw;
+        self.active += dw as usize;
+        if !self.slots[slot].links.is_empty() {
+            self.resolve_around(&[id.0]);
+        }
+    }
+
+    /// Removes `dw` members from a bundle and re-solves its component.
+    /// The last member must leave via [`remove_flow`](Self::remove_flow)
+    /// instead, which retires the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale, `dw` is zero, or `dw` is not
+    /// strictly less than the current weight.
+    pub fn sub_weight(&mut self, id: FairFlowId, dw: u32) {
+        let slot = id.0 as usize;
+        assert!(
+            self.slots.get(slot).is_some_and(|s| s.alive),
+            "sub_weight on stale handle {id:?}"
+        );
+        let w = self.slots[slot].weight;
+        assert!(
+            dw > 0 && dw < w,
+            "sub_weight({dw}) must leave at least one of {w} members"
+        );
+        self.slots[slot].weight = w - dw;
+        self.active -= dw as usize;
+        if !self.slots[slot].links.is_empty() {
+            self.resolve_around(&[id.0]);
+        }
+    }
+
+    /// Member count of an active entry (1 for plain flows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    #[must_use]
+    pub fn weight(&self, id: FairFlowId) -> u32 {
+        let slot = id.0 as usize;
+        assert!(
+            self.slots.get(slot).is_some_and(|s| s.alive),
+            "weight of stale handle {id:?}"
+        );
+        self.slots[slot].weight
     }
 
     /// Unregisters a flow and re-solves the component it left behind
@@ -319,7 +442,8 @@ impl FairShareState {
         );
         self.slots[slot].alive = false;
         self.rates[slot] = 0.0;
-        self.active -= 1;
+        self.active -= self.slots[slot].weight as usize;
+        self.slots[slot].weight = 0;
         let links = std::mem::take(&mut self.slots[slot].links);
         self.free.push(id.0);
         if links.is_empty() {
@@ -370,7 +494,8 @@ impl FairShareState {
         }
     }
 
-    /// The current rate of an active flow, bits/s.
+    /// The current **per-member** rate of an active entry, bits/s (for
+    /// weight-1 entries this is simply the flow's rate).
     ///
     /// # Panics
     ///
@@ -396,7 +521,7 @@ impl FairShareState {
             .collect()
     }
 
-    /// Number of active flows (local ones included).
+    /// Number of active member flows (weights summed, local included).
     #[must_use]
     pub fn active_flows(&self) -> usize {
         self.active
@@ -483,109 +608,221 @@ impl FairShareState {
     fn fill_local(&mut self, members: &[u32], comp_links: &[u32]) {
         self.solves += 1;
         self.solved_flows += members.len() as u64;
-        let stamp = self.stamp;
-        let (slots, rates) = (&self.slots, &mut self.rates);
-        let (link_flows, flow_local, link_local) =
-            (&self.link_flows, &self.flow_local, &self.link_local);
-        let mut remaining: Vec<f64> = comp_links
-            .iter()
-            .map(|&l| self.capacities[l as usize])
-            .collect();
-        // All flows crossing a component link are members by closure, so
-        // the unfrozen count starts at the full crossing count.
-        let mut unfrozen: Vec<u32> = comp_links
-            .iter()
-            .map(|&l| link_flows[l as usize].len() as u32)
-            .collect();
-        let mut frozen: Vec<bool> = vec![false; members.len()];
-
-        loop {
-            // Bottleneck: smallest share; ties break on the smallest
-            // global link id, exactly like the full solver's ascending
-            // link scan.
-            let mut best: Option<(f64, u32, usize)> = None;
-            for (j, (&count, &global)) in unfrozen.iter().zip(comp_links).enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                let share = (remaining[j] / f64::from(count)).max(0.0);
-                match best {
-                    Some((s, g, _)) if s < share || (s == share && g < global) => {}
-                    _ => best = Some((share, global, j)),
-                }
-            }
-            let Some((share, _, bottleneck)) = best else {
-                break;
-            };
-            for &f in &link_flows[comp_links[bottleneck] as usize] {
-                let local = flow_local[f as usize] as usize;
-                debug_assert_eq!(self.flow_mark[f as usize], stamp);
-                if frozen[local] {
-                    continue;
-                }
-                frozen[local] = true;
-                rates[f as usize] = share;
-                for &l in &slots[f as usize].links {
-                    debug_assert_eq!(self.link_mark[l as usize], stamp);
-                    let lj = link_local[l as usize] as usize;
-                    remaining[lj] = (remaining[lj] - share).max(0.0);
-                    unfrozen[lj] -= 1;
-                }
-            }
+        let out = solve_component(
+            &self.slots,
+            &self.link_flows,
+            &self.capacities,
+            &self.flow_local,
+            &self.link_local,
+            members,
+            comp_links,
+        );
+        for (&f, &r) in members.iter().zip(&out) {
+            self.rates[f as usize] = r;
         }
     }
 
-    /// Dense full refill: progressive filling over every active flow
-    /// using the persistent adjacency, mirroring [`max_min_rates`]
-    /// (ascending-link bottleneck scan included) without rebuilding
-    /// `flow_links` vectors.
+    /// Dense full refill: decomposes the active graph into
+    /// link-connected components and fills each independently (on scoped
+    /// threads when [`with_parallel`](Self::with_parallel) allows),
+    /// merging rates in ascending component index. Per the module's
+    /// equivalence argument this is bit-identical to one global
+    /// progressive fill, and to [`max_min_rates`] over the active set.
     fn fill_dense(&mut self) {
         self.solves += 1;
         self.dense_solves += 1;
-        self.solved_flows += self.active_on_links as u64;
-        self.dense_remaining.copy_from_slice(&self.capacities);
-        for (l, flows) in self.link_flows.iter().enumerate() {
-            self.dense_unfrozen[l] = flows.len() as u32;
-        }
-        // Reuse the stamp map as the frozen set.
+        // Decomposition: BFS from each unvisited linked entry, in slot
+        // order, writing component-relative local indices into the
+        // stamped maps. Flattened storage, one (member, link) range per
+        // component.
         self.stamp += 1;
         let stamp = self.stamp;
-        let (slots, rates, flow_mark) = (&self.slots, &mut self.rates, &mut self.flow_mark);
-        let (link_flows, remaining, unfrozen) = (
-            &self.link_flows,
-            &mut self.dense_remaining,
-            &mut self.dense_unfrozen,
-        );
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (l, &count) in unfrozen.iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                let share = (remaining[l] / f64::from(count)).max(0.0);
-                match best {
-                    Some((_, s)) if s <= share => {}
-                    _ => best = Some((l, share)),
+        let mut members: Vec<u32> = Vec::new();
+        let mut links: Vec<u32> = Vec::new();
+        let mut comps: Vec<(usize, usize, usize, usize)> = Vec::new();
+        for start in 0..self.slots.len() {
+            if !self.slots[start].alive
+                || self.slots[start].links.is_empty()
+                || self.flow_mark[start] == stamp
+            {
+                continue;
+            }
+            let (ms, ls) = (members.len(), links.len());
+            self.flow_mark[start] = stamp;
+            self.flow_local[start] = 0;
+            members.push(start as u32);
+            let mut head = ms;
+            while head < members.len() {
+                let f = members[head] as usize;
+                head += 1;
+                for li in 0..self.slots[f].links.len() {
+                    let l = self.slots[f].links[li] as usize;
+                    if self.link_mark[l] != stamp {
+                        self.link_mark[l] = stamp;
+                        self.link_local[l] = (links.len() - ls) as u32;
+                        links.push(l as u32);
+                        for gi in 0..self.link_flows[l].len() {
+                            let g = self.link_flows[l][gi] as usize;
+                            if self.flow_mark[g] != stamp {
+                                self.flow_mark[g] = stamp;
+                                self.flow_local[g] = (members.len() - ms) as u32;
+                                members.push(g as u32);
+                            }
+                        }
+                    }
                 }
             }
-            let Some((bottleneck, share)) = best else {
-                break;
-            };
-            for &f in &link_flows[bottleneck] {
-                let f = f as usize;
-                if flow_mark[f] == stamp {
-                    continue; // already frozen this solve
+            comps.push((ms, members.len(), ls, links.len()));
+        }
+        self.solved_flows += members.len() as u64;
+
+        // Components are link-disjoint, so solving them in parallel
+        // shares no state; the spawn gate only avoids thread overhead on
+        // small refills (rates are identical either way).
+        let jobs = self.parallel.min(comps.len()).max(1);
+        if jobs > 1 && members.len() >= 64 {
+            let (slots, link_flows, capacities) = (&self.slots, &self.link_flows, &self.capacities);
+            let (flow_local, link_local) = (&self.flow_local, &self.link_local);
+            let (members_ref, links_ref, comps_ref) = (&members, &links, &comps);
+            let solved: Vec<Vec<(usize, Vec<f64>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|tid| {
+                        s.spawn(move || {
+                            comps_ref
+                                .iter()
+                                .enumerate()
+                                .filter(|(ci, _)| ci % jobs == tid)
+                                .map(|(ci, &(ms, me, ls, le))| {
+                                    (
+                                        ci,
+                                        solve_component(
+                                            slots,
+                                            link_flows,
+                                            capacities,
+                                            flow_local,
+                                            link_local,
+                                            &members_ref[ms..me],
+                                            &links_ref[ls..le],
+                                        ),
+                                    )
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("component solver thread"))
+                    .collect()
+            });
+            // Deterministic merge: ascending component index. The slots
+            // are disjoint, so this fixes presentation order only.
+            let mut per_comp: Vec<Option<Vec<f64>>> = vec![None; comps.len()];
+            for (ci, out) in solved.into_iter().flatten() {
+                per_comp[ci] = Some(out);
+            }
+            for (ci, &(ms, me, _, _)) in comps.iter().enumerate() {
+                let out = per_comp[ci].take().expect("every component solved");
+                for (&f, r) in members[ms..me].iter().zip(out) {
+                    self.rates[f as usize] = r;
                 }
-                flow_mark[f] = stamp;
-                rates[f] = share;
-                for &l in &slots[f].links {
-                    let l = l as usize;
-                    remaining[l] = (remaining[l] - share).max(0.0);
-                    unfrozen[l] -= 1;
+            }
+        } else {
+            for &(ms, me, ls, le) in &comps {
+                let out = solve_component(
+                    &self.slots,
+                    &self.link_flows,
+                    &self.capacities,
+                    &self.flow_local,
+                    &self.link_local,
+                    &members[ms..me],
+                    &links[ls..le],
+                );
+                for (&f, &r) in members[ms..me].iter().zip(&out) {
+                    self.rates[f as usize] = r;
                 }
             }
         }
     }
+}
+
+/// Weighted progressive filling over one link-connected component.
+/// `flow_local` / `link_local` map global ids to component-relative
+/// indices (valid for every member/link of this component); returns the
+/// per-member rate of each entry, indexed like `members`.
+///
+/// The arithmetic is [`max_min_rates`]'s exactly, with each weight-`w`
+/// entry standing for `w` interleaved member freezes (see the module's
+/// weighted-entries section for why that is bit-identical).
+fn solve_component(
+    slots: &[FlowSlot],
+    link_flows: &[Vec<u32>],
+    capacities: &[f64],
+    flow_local: &[u32],
+    link_local: &[u32],
+    members: &[u32],
+    comp_links: &[u32],
+) -> Vec<f64> {
+    let mut remaining: Vec<f64> = comp_links.iter().map(|&l| capacities[l as usize]).collect();
+    // All entries crossing a component link are members by closure, so
+    // the unfrozen count starts at the full member (weight) total.
+    let mut unfrozen: Vec<u32> = comp_links
+        .iter()
+        .map(|&l| {
+            link_flows[l as usize]
+                .iter()
+                .map(|&f| slots[f as usize].weight)
+                .sum()
+        })
+        .collect();
+    let mut frozen: Vec<bool> = vec![false; members.len()];
+    let mut out: Vec<f64> = vec![0.0; members.len()];
+
+    loop {
+        // Bottleneck: smallest share; ties break on the smallest global
+        // link id, exactly like the full solver's ascending link scan.
+        let mut best: Option<(f64, u32, usize)> = None;
+        for (j, (&count, &global)) in unfrozen.iter().zip(comp_links).enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let share = (remaining[j] / f64::from(count)).max(0.0);
+            match best {
+                Some((s, g, _)) if s < share || (s == share && g < global) => {}
+                _ => best = Some((share, global, j)),
+            }
+        }
+        let Some((share, _, bottleneck)) = best else {
+            break;
+        };
+        for &f in &link_flows[comp_links[bottleneck] as usize] {
+            let local = flow_local[f as usize] as usize;
+            if frozen[local] {
+                continue;
+            }
+            frozen[local] = true;
+            out[local] = share;
+            let w = slots[f as usize].weight;
+            for &l in &slots[f as usize].links {
+                let lj = link_local[l as usize] as usize;
+                unfrozen[lj] -= w;
+                if unfrozen[lj] == 0 {
+                    // This freeze emptied the link: its `remaining` is
+                    // never read again, so the member-wise drain below
+                    // would be dead work — O(links), not O(members).
+                    continue;
+                }
+                // The member-wise rounding sequence, one literal
+                // subtract-and-clamp per member crossing.
+                let mut rem = remaining[lj];
+                for _ in 0..w {
+                    rem = (rem - share).max(0.0);
+                }
+                remaining[lj] = rem;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -848,5 +1085,129 @@ mod tests {
             });
             assert!(has_tight_link, "flow {i} could grow: {rates:?}");
         }
+    }
+
+    /// Builds one state from weighted bundles and one from the same
+    /// members inserted individually, asserting bitwise-equal per-member
+    /// rates for every bundle.
+    fn assert_weighted_matches_singletons(caps: &[f64], bundles: &[(Vec<u32>, u32)]) {
+        for full in [false, true] {
+            let mut grouped = FairShareState::new(caps.to_vec(), 1e10).with_full_recompute(full);
+            let mut single = FairShareState::new(caps.to_vec(), 1e10).with_full_recompute(full);
+            let mut gids = Vec::new();
+            let mut sids = Vec::new();
+            for (links, w) in bundles {
+                gids.push(grouped.insert_weighted(links, *w));
+                sids.push(
+                    (0..*w)
+                        .map(|_| single.insert_flow(links))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            for (bi, (gid, members)) in gids.iter().zip(&sids).enumerate() {
+                let want = single.rate(members[0]);
+                for &m in members {
+                    assert!(
+                        single.rate(m) == want,
+                        "bundle {bi} members diverge (full={full})"
+                    );
+                }
+                assert!(
+                    grouped.rate(*gid) == want,
+                    "bundle {bi}: grouped {} != singleton {} (full={full})",
+                    grouped.rate(*gid),
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_entries_match_singleton_members() {
+        assert_weighted_matches_singletons(
+            &[10.0, 7.0, 4.0, 6.0],
+            &[
+                (vec![0, 2], 3),
+                (vec![0, 3], 1),
+                (vec![1, 2], 5),
+                (vec![3], 2),
+                (vec![0, 0], 2), // crosses link 0 twice
+                (vec![], 4),     // local bundle
+            ],
+        );
+    }
+
+    #[test]
+    fn weight_mutation_matches_member_churn() {
+        // add_weight / sub_weight track individual insert/remove exactly.
+        let caps = [9.0, 5.0];
+        let mut grouped = FairShareState::new(caps.to_vec(), 1e10);
+        let mut single = FairShareState::new(caps.to_vec(), 1e10);
+        let b = grouped.insert_weighted(&[0, 1], 2);
+        let mut members = vec![single.insert_flow(&[0, 1]), single.insert_flow(&[0, 1])];
+        let lone_g = grouped.insert_flow(&[0]);
+        let lone_s = single.insert_flow(&[0]);
+        assert_eq!(grouped.rate(b), single.rate(members[0]));
+        assert_eq!(grouped.rate(lone_g), single.rate(lone_s));
+
+        grouped.add_weight(b, 3);
+        for _ in 0..3 {
+            members.push(single.insert_flow(&[0, 1]));
+        }
+        assert_eq!(grouped.weight(b), 5);
+        assert_eq!(grouped.active_flows(), 6);
+        assert_eq!(grouped.rate(b), single.rate(members[0]));
+        assert_eq!(grouped.rate(lone_g), single.rate(lone_s));
+
+        grouped.sub_weight(b, 4);
+        for m in members.drain(1..) {
+            single.remove_flow(m);
+        }
+        assert_eq!(grouped.rate(b), single.rate(members[0]));
+        assert_eq!(grouped.rate(lone_g), single.rate(lone_s));
+
+        // The last member retires the entry.
+        grouped.remove_flow(b);
+        single.remove_flow(members[0]);
+        assert_eq!(grouped.rate(lone_g), single.rate(lone_s));
+        assert_eq!(grouped.active_flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave at least one")]
+    fn sub_weight_rejects_emptying_the_entry() {
+        let mut state = FairShareState::new(vec![5.0], 1.0);
+        let b = state.insert_weighted(&[0], 2);
+        state.sub_weight(b, 2);
+    }
+
+    #[test]
+    fn parallel_dense_solve_is_bit_identical() {
+        // Many disjoint components, forced through the dense path at
+        // widths 1 and 8: identical rates, bit for bit.
+        let n_links = 40usize;
+        let caps: Vec<f64> = (0..n_links).map(|l| 1e9 + l as f64 * 3.7e7).collect();
+        let build = |jobs: usize| {
+            let mut state = FairShareState::new(caps.clone(), 1e10)
+                .with_full_recompute(true)
+                .with_parallel(jobs);
+            let mut ids = Vec::new();
+            for i in 0..128u32 {
+                let l = (i as usize * 7) % n_links;
+                let links = if i % 3 == 0 {
+                    vec![l as u32, ((l + 1) % n_links) as u32]
+                } else {
+                    vec![l as u32]
+                };
+                ids.push(state.insert_weighted(&links, 1 + i % 4));
+            }
+            ids.iter().map(|&id| state.rate(id)).collect::<Vec<f64>>()
+        };
+        let seq = build(1);
+        let par = build(8);
+        assert!(
+            seq.iter().zip(&par).all(|(a, b)| a == b),
+            "parallel dense solve diverged"
+        );
     }
 }

@@ -5,9 +5,28 @@
 //! a [`TrafficSource`] decides which flows exist and may inject dependent
 //! flows reactively on every completion (closed-loop replay). Event
 //! timestamps quantize to nanoseconds for ordering, but every event
-//! carries its precise `f64` time, so the fluid arithmetic — and hence
-//! every [`FlowResult`] — is bit-identical to the pre-engine loop for
-//! static (open-loop) traffic.
+//! carries its precise `f64` time, so the fluid arithmetic never
+//! quantizes.
+//!
+//! # Flow bundles
+//!
+//! Active flows sharing one exact path collapse into a [`Bundle`]: a
+//! single weighted fair-share entry plus a cumulative *service curve*
+//! counting the bits each member slot has been served. Per-flow state
+//! reduces to one number — the absolute service target at which the
+//! flow's payload is done — so the per-event work (draining, completion
+//! prediction, retirement scan) is O(live bundles), not O(active flows).
+//! DC-scale replays have hundreds of distinct paths carrying hundreds of
+//! thousands of flows, which is what removes the 100k-flow cliff.
+//!
+//! Service accounting is integer (Q64 fixed point, see [`Q_SCALE`]), so
+//! grouping flows into bundles — or not, via the `KEDDAH_NO_AGGREGATE`
+//! oracle knob on [`SimOptions::aggregate`] — never changes any flow's
+//! completion time: the golden-replay corpus and the determinism suite
+//! pin byte-identical reports across the aggregation, solver-parallelism
+//! and full-recompute knobs.
+
+use std::collections::{BTreeSet, HashMap};
 
 use keddah_des::{Duration, Engine, SimTime};
 use keddah_faults::{FaultKind, FaultSchedule};
@@ -80,6 +99,22 @@ pub struct SimOptions {
     /// the `KEDDAH_FULL_RECOMPUTE` environment variable (set to anything
     /// but `0`).
     pub full_recompute: bool,
+    /// Collapse same-path flows into weighted fluid bundles (the
+    /// default). `false` gives every flow its own singleton bundle and
+    /// fair-share entry — the pre-bundle engine's shape, kept as a
+    /// correctness oracle and as the `flow_scaling` ablation baseline.
+    /// Completion times are identical either way (integer service
+    /// accounting; see the module docs). Defaults to `true` unless the
+    /// `KEDDAH_NO_AGGREGATE` environment variable is set (to anything
+    /// but `0`).
+    pub aggregate: bool,
+    /// Scoped threads dense fair-share refills may fan independent
+    /// components out over. `0` (the default) auto-sizes from the host;
+    /// rates — and hence replay output — are byte-identical at any
+    /// width. Setting the `KEDDAH_SEQ_SOLVE` environment variable (to
+    /// anything but `0`) forces sequential solves, the oracle the
+    /// determinism suite compares against.
+    pub solver_jobs: usize,
 }
 
 impl Default for SimOptions {
@@ -90,6 +125,12 @@ impl Default for SimOptions {
             local_bps: 10e9,
             tcp_slow_start: false,
             full_recompute: std::env::var("KEDDAH_FULL_RECOMPUTE").is_ok_and(|v| v != "0"),
+            aggregate: !std::env::var("KEDDAH_NO_AGGREGATE").is_ok_and(|v| v != "0"),
+            solver_jobs: if std::env::var("KEDDAH_SEQ_SOLVE").is_ok_and(|v| v != "0") {
+                1
+            } else {
+                0
+            },
         }
     }
 }
@@ -190,14 +231,144 @@ impl SimReport {
     }
 }
 
-struct ActiveFlow {
-    idx: usize,
-    remaining_bits: f64,
-    /// Handle into the incremental fair-share allocator.
-    fair: FairFlowId,
-    /// The links the flow currently occupies — kept so fault events can
-    /// find and re-route/abort the flows crossing a failed link.
+/// A fluid bundle: the active flows sharing one exact path. The fair
+/// allocator sees a single weighted entry per bundle; members drain
+/// together along the bundle's cumulative service curve.
+struct Bundle {
+    /// The shared path (directed link ids); empty for host-local flows.
     links: Vec<u32>,
+    /// Weighted fair-share entry, `None` while the bundle is empty.
+    fair: Option<FairFlowId>,
+    /// Cumulative per-member service in Q64 bits (see [`Q_SCALE`]):
+    /// every live member slot has been served exactly this much since
+    /// the bundle's creation.
+    service: u128,
+    /// Members as (absolute service target, flow idx): a member is done
+    /// when `service` reaches its target, so the head is always the next
+    /// member to finish. Ordering inside a bundle is time-invariant —
+    /// members share one rate.
+    members: BTreeSet<(u128, u32)>,
+    /// Position in the live-bundle list while `fair` is `Some`.
+    live_pos: usize,
+}
+
+/// Fixed-point scale for bundle service accounting: Q64, i.e. bits
+/// × 2^64. Multiplying an `f64` by 2^64 only shifts the exponent
+/// (exact), and the `f64 → u128` cast truncates deterministically, so a
+/// per-event service increment `((rate * dt) * Q_SCALE) as u128` is the
+/// same integer however flows are grouped; integer addition then makes
+/// the cumulative curve associative. That grouping-invariance is what
+/// lets the `KEDDAH_NO_AGGREGATE` oracle reproduce bundled runs bit for
+/// bit.
+const Q_SCALE: f64 = 18_446_744_073_709_551_616.0; // 2^64
+
+/// Sub-byte residues count as drained (8 bits, in Q64): they are
+/// numerical dust, and waiting for them can stall the clock entirely
+/// once `now + residue/rate` rounds back to `now`.
+const RETIRE_EPS_Q: u128 = 8u128 << 64;
+
+/// A payload as a Q64 service amount: `bytes × 8` bits, floored at one
+/// bit (a zero-byte flow still occupies its path for one epsilon) and
+/// saturated far below the u128 range for pathological sizes.
+fn payload_q(bytes: u64) -> u128 {
+    (u128::from(bytes) * 8).clamp(1, 1 << 62) << 64
+}
+
+/// Back to fractional bits, for predictions and lost-byte accounting.
+fn q_to_bits(q: u128) -> f64 {
+    (q as f64) / Q_SCALE
+}
+
+/// The bundle for `links`, creating (and, under aggregation, memoizing)
+/// it on first use. Without aggregation every call creates a fresh
+/// singleton bundle — the oracle shape.
+fn bundle_for_path(
+    bundles: &mut Vec<Bundle>,
+    by_path: &mut HashMap<Vec<u32>, u32>,
+    aggregate: bool,
+    links: Vec<u32>,
+) -> u32 {
+    if aggregate {
+        if let Some(&bi) = by_path.get(&links) {
+            return bi;
+        }
+    }
+    let bi = u32::try_from(bundles.len()).expect("bundle count fits u32");
+    if aggregate {
+        by_path.insert(links.clone(), bi);
+    }
+    bundles.push(Bundle {
+        links,
+        fair: None,
+        service: 0,
+        members: BTreeSet::new(),
+        live_pos: 0,
+    });
+    bi
+}
+
+/// Attaches flow `idx` to bundle `bi` with `amount_q` of service to
+/// drain, (re)activating the bundle's fair entry as needed.
+#[allow(clippy::too_many_arguments)]
+fn join_bundle(
+    bundles: &mut [Bundle],
+    live: &mut Vec<u32>,
+    fair: &mut FairShareState,
+    member_of: &mut [Option<(u32, u128)>],
+    active_members: &mut usize,
+    bi: u32,
+    idx: usize,
+    amount_q: u128,
+) {
+    let b = &mut bundles[bi as usize];
+    match b.fair {
+        Some(id) => fair.add_weight(id, 1),
+        None => {
+            b.fair = Some(fair.insert_weighted(&b.links, 1));
+            b.live_pos = live.len();
+            live.push(bi);
+        }
+    }
+    let target = b.service.saturating_add(amount_q);
+    b.members.insert((target, idx as u32));
+    member_of[idx] = Some((bi, target));
+    *active_members += 1;
+}
+
+/// Detaches flow `idx` from its bundle, returning its undrained Q64
+/// remainder; the last member out retires the bundle's fair entry.
+fn leave_bundle(
+    bundles: &mut [Bundle],
+    live: &mut Vec<u32>,
+    fair: &mut FairShareState,
+    member_of: &mut [Option<(u32, u128)>],
+    active_members: &mut usize,
+    idx: usize,
+) -> u128 {
+    let (bi, target) = member_of[idx].take().expect("flow is an active member");
+    let (rem_q, id, emptied) = {
+        let b = &mut bundles[bi as usize];
+        let removed = b.members.remove(&(target, idx as u32));
+        debug_assert!(removed, "member set out of sync");
+        let id = b.fair.expect("member bundle is live");
+        let emptied = b.members.is_empty();
+        if emptied {
+            b.fair = None;
+        }
+        (target.saturating_sub(b.service), id, emptied)
+    };
+    *active_members -= 1;
+    if emptied {
+        let pos = bundles[bi as usize].live_pos;
+        live.swap_remove(pos);
+        if let Some(&moved) = live.get(pos) {
+            bundles[moved as usize].live_pos = pos;
+        }
+        fair.remove_flow(id);
+    } else {
+        fair.sub_weight(id, 1);
+    }
+    rem_q
 }
 
 /// Engine events of the fluid loop. Nanosecond timestamps order events;
@@ -217,11 +388,6 @@ enum Ev {
     /// Scheduled fault `idx` (index into the fault schedule) fires.
     Fault { idx: usize },
 }
-
-/// Sub-byte residues count as drained: they are numerical dust, and
-/// waiting for them can stall the clock entirely once `now + residue/rate`
-/// rounds back to `now`.
-const RETIRE_EPS_BITS: f64 = 8.0;
 
 /// Runs the fluid simulation of `flows` over `topo`.
 ///
@@ -358,25 +524,33 @@ pub fn simulate_faulted_observed(
     let capacities = topo.capacities();
     let mut link_bytes = vec![0u64; capacities.len()];
 
-    // The flow arena: grows as the source injects. Results share its
-    // indexing (= FlowId = injection order).
+    // The flow arena: grows as the source injects. Results and bundle
+    // membership share its indexing (= FlowId = injection order).
     let mut flows: Vec<FlowSpec> = source.on_start();
     let mut results: Vec<Option<FlowResult>> = vec![None; flows.len()];
+    let mut member_of: Vec<Option<(u32, u128)>> = vec![None; flows.len()];
 
     let mut engine: Engine<Ev> = Engine::new();
     // Initial arrivals are scheduled in start order (stable), so
     // same-nanosecond arrivals pop in the order the pre-engine loop
-    // processed them.
+    // processed them; one batched heapify seeds even million-flow runs
+    // in linear time.
     let mut order: Vec<usize> = (0..flows.len()).collect();
     order.sort_by_key(|&i| flows[i].start);
-    for &i in &order {
-        engine.schedule(flows[i].start, Ev::Arrive { id: i });
-    }
+    engine.schedule_batch(
+        order
+            .iter()
+            .map(|&i| (flows[i].start, Ev::Arrive { id: i })),
+    );
     // Fault events after same-time arrivals (FIFO ties), so a crash at a
     // flow's exact start still sees the flow on the wire.
-    for (i, fault) in schedule.events().iter().enumerate() {
-        engine.schedule(fault.at(), Ev::Fault { idx: i });
-    }
+    engine.schedule_batch(
+        schedule
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, fault)| (fault.at(), Ev::Fault { idx: i })),
+    );
 
     // Fault state. `faults_on` gates every fault check on the hot path:
     // with an empty schedule the arithmetic below is exactly the
@@ -394,13 +568,26 @@ pub fn simulate_faulted_observed(
     let mut diverged = false;
 
     let mut router = RouteCache::new(topo);
-    let mut active: Vec<ActiveFlow> = Vec::new();
-    // Incremental max-min state: arrivals/retirements re-solve only the
-    // affected component; rates stay bit-identical to full progressive
-    // filling on every event (see `fair`), so the knob below changes
-    // wall-clock, never results.
+    // Bundle state: same-path flows share one bundle (or each flow its
+    // own, under the no-aggregate oracle). `live` lists bundles with
+    // members; `member_of` maps a flow to its bundle and service target.
+    let mut bundles: Vec<Bundle> = Vec::new();
+    let mut by_path: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut active_members = 0usize;
+    let mut peak_bundles = 0usize;
+    // Incremental max-min state, one weighted entry per bundle:
+    // arrivals/retirements re-solve only the affected component; rates
+    // stay bit-identical to full per-flow progressive filling on every
+    // event (see `fair`), so every knob below changes wall-clock, never
+    // results.
+    let solver_jobs = match options.solver_jobs {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+        n => n,
+    };
     let mut fair = FairShareState::new(capacities.clone(), options.local_bps)
-        .with_full_recompute(options.full_recompute);
+        .with_full_recompute(options.full_recompute)
+        .with_parallel(solver_jobs);
     let mut now = 0.0f64;
     let mut peak_active = 0usize;
     // Completion predictions older than the last arrival/retirement are
@@ -445,6 +632,7 @@ pub fn simulate_faulted_observed(
                     let id = flows.len();
                     flows.push(spec);
                     results.push(None);
+                    member_of.push(None);
                     queue.push(spec.start, Ev::Arrive { id });
                 }
                 return; // fluid state untouched
@@ -463,49 +651,72 @@ pub fn simulate_faulted_observed(
             // report flags it via `FaultStats::diverged`.
             debug_assert!(
                 false,
-                "fluid simulation failed to converge: {} active flows at t={now}, {} total, \
-                 remaining={:?}, rates={:?}",
-                active.len(),
+                "fluid simulation failed to converge: {} active flows in {} bundles at t={now}, \
+                 {} total, head remainders={:?}, rates={:?}",
+                active_members,
+                live.len(),
                 flows.len(),
-                active
-                    .iter()
-                    .map(|f| f.remaining_bits)
+                live.iter()
                     .take(5)
+                    .map(|&bi| {
+                        let b = &bundles[bi as usize];
+                        b.members
+                            .iter()
+                            .next()
+                            .map_or(0.0, |&(tq, _)| q_to_bits(tq.saturating_sub(b.service)))
+                    })
                     .collect::<Vec<_>>(),
-                active
-                    .iter()
-                    .map(|f| fair.rate(f.fair))
+                live.iter()
                     .take(5)
+                    .map(|&bi| fair.rate(bundles[bi as usize].fair.expect("live bundle")))
                     .collect::<Vec<_>>()
             );
             diverged = true;
             fstats.diverged = true;
-            for f in std::mem::take(&mut active) {
-                fair.remove_flow(f.fair);
-                let spec = flows[f.idx];
-                let lost = spec.bytes.min((f.remaining_bits / 8.0).round() as u64);
+            let mut drain: Vec<u32> = live
+                .iter()
+                .flat_map(|&bi| bundles[bi as usize].members.iter().map(|&(_, idx)| idx))
+                .collect();
+            drain.sort_unstable();
+            for idx in drain {
+                let idx = idx as usize;
+                let rem_q = leave_bundle(
+                    &mut bundles,
+                    &mut live,
+                    &mut fair,
+                    &mut member_of,
+                    &mut active_members,
+                    idx,
+                );
+                let spec = flows[idx];
+                let lost = spec.bytes.min((q_to_bits(rem_q) / 8.0).round() as u64);
                 c_aborted.inc();
                 obs.trace(
                     t.as_nanos(),
                     "netsim",
                     "flow_abort",
-                    Some(f.idx as u64),
+                    Some(idx as u64),
                     || format!("divergence drain, lost_bytes={lost}"),
                 );
                 fstats.lost_bytes += lost;
                 fstats.delivered_bytes += spec.bytes - lost;
-                fstats.aborted.push(f.idx);
+                fstats.aborted.push(idx);
                 let finish = SimTime::from_secs_f64(now).max(t);
-                results[f.idx] = Some(FlowResult { spec, finish });
+                results[idx] = Some(FlowResult { spec, finish });
                 // No re-issue callback here: a diverged run must drain,
                 // not refill.
             }
         }
 
-        // Drain transferred bits up to the event's precise time.
+        // Advance every live bundle's service curve to the event's
+        // precise time — O(bundles), the loop that used to be O(flows).
         let dt = (tf - now).max(0.0);
-        for f in active.iter_mut() {
-            f.remaining_bits = (f.remaining_bits - fair.rate(f.fair) * dt).max(0.0);
+        if dt > 0.0 {
+            for &bi in &live {
+                let b = &mut bundles[bi as usize];
+                let rate = fair.rate(b.fair.expect("live bundle"));
+                b.service = b.service.saturating_add(((rate * dt) * Q_SCALE) as u128);
+            }
         }
         now = tf;
 
@@ -573,6 +784,7 @@ pub fn simulate_faulted_observed(
                             let child_id = flows.len();
                             flows.push(child);
                             results.push(None);
+                            member_of.push(None);
                             queue.push(child.start, Ev::Arrive { id: child_id });
                         }
                     }
@@ -605,45 +817,72 @@ pub fn simulate_faulted_observed(
                         results[id] = Some(FlowResult { spec, finish });
                         queue.push(finish.max(t), Ev::Notify { id });
                     } else {
-                        let fair_id = fair.insert_flow(&links);
-                        active.push(ActiveFlow {
-                            idx: id,
-                            // Propagation charged up front as extra "bits" at
-                            // the eventual rate would distort sharing; instead
-                            // it is added to the finish time on completion.
-                            remaining_bits: (spec.bytes as f64 * 8.0).max(1.0),
-                            fair: fair_id,
-                            links,
-                        });
-                        peak_active = peak_active.max(active.len());
+                        // Propagation charged up front as extra "bits" at
+                        // the eventual rate would distort sharing; instead
+                        // it is added to the finish time on completion.
+                        let bi =
+                            bundle_for_path(&mut bundles, &mut by_path, options.aggregate, links);
+                        join_bundle(
+                            &mut bundles,
+                            &mut live,
+                            &mut fair,
+                            &mut member_of,
+                            &mut active_members,
+                            bi,
+                            id,
+                            payload_q(spec.bytes),
+                        );
+                        peak_active = peak_active.max(active_members);
+                        peak_bundles = peak_bundles.max(live.len());
                     }
                 }
             }
             Ev::Complete { .. } => {
-                // Retire every flow that just drained (ties complete
-                // together).
-                let mut finished = Vec::new();
-                active.retain(|f| {
-                    if f.remaining_bits <= RETIRE_EPS_BITS {
-                        finished.push((f.idx, f.fair));
-                        false
-                    } else {
-                        true
+                // Retire every member whose target the service curve has
+                // reached (ties complete together). Each bundle's member
+                // set is target-ordered, so the scan is O(bundles +
+                // retiring); the cross-bundle flow-idx sort fixes one
+                // canonical processing order whatever the bundling — the
+                // aggregation knob must not reorder Notify delivery.
+                let mut finished: Vec<u32> = Vec::new();
+                for &bi in &live {
+                    let b = &bundles[bi as usize];
+                    let cut = b.service.saturating_add(RETIRE_EPS_Q);
+                    for &(target, idx) in &b.members {
+                        if target <= cut {
+                            finished.push(idx);
+                        } else {
+                            break;
+                        }
                     }
-                });
-                if finished.is_empty() && !active.is_empty() {
-                    // Guaranteed progress: float rounding left the minimum
-                    // flow just above the epsilon; retire it outright.
-                    let (pos, _) = active
-                        .iter()
-                        .enumerate()
-                        .min_by(|(_, a), (_, b)| a.remaining_bits.total_cmp(&b.remaining_bits))
-                        .expect("active is non-empty");
-                    let f = active.remove(pos);
-                    finished.push((f.idx, f.fair));
                 }
-                for (id, fair_id) in finished {
-                    fair.remove_flow(fair_id);
+                if finished.is_empty() && active_members > 0 {
+                    // Guaranteed progress: float rounding left every
+                    // member just above the epsilon; retire the globally
+                    // closest (smallest remainder, then smallest idx).
+                    let mut best: Option<(u128, u32)> = None;
+                    for &bi in &live {
+                        let b = &bundles[bi as usize];
+                        let &(target, idx) =
+                            b.members.iter().next().expect("live bundle has members");
+                        let rem = target.saturating_sub(b.service);
+                        if best.is_none_or(|head| (rem, idx) < head) {
+                            best = Some((rem, idx));
+                        }
+                    }
+                    finished.push(best.expect("active members exist").1);
+                }
+                finished.sort_unstable();
+                for idx in finished {
+                    let id = idx as usize;
+                    leave_bundle(
+                        &mut bundles,
+                        &mut live,
+                        &mut fair,
+                        &mut member_of,
+                        &mut active_members,
+                        id,
+                    );
                     let spec = flows[id];
                     let extra =
                         options.propagation.as_secs_f64() + slow_start_delay(spec.bytes, &options);
@@ -668,22 +907,25 @@ pub fn simulate_faulted_observed(
                 obs.trace(t.as_nanos(), "faults", "fault_fire", None, || {
                     schedule.events()[idx].describe()
                 });
-                // Active flows a fault kills or displaces, pulled out of
-                // the active set in order.
-                let mut victims: Vec<ActiveFlow> = Vec::new();
-                let mut pull =
-                    |active: &mut Vec<ActiveFlow>,
-                     flows: &[FlowSpec],
-                     pred: &dyn Fn(&ActiveFlow, &FlowSpec) -> bool| {
-                        let mut i = 0;
-                        while i < active.len() {
-                            if pred(&active[i], &flows[active[i].idx]) {
-                                victims.push(active.remove(i));
-                            } else {
-                                i += 1;
+                // Members a fault kills or displaces, gathered by scanning
+                // live bundles and sorted by flow idx — one canonical
+                // victim order whatever the bundling, so the aggregation
+                // knob never reorders aborts or reroutes.
+                let mut victims: Vec<u32> = Vec::new();
+                let pull = |live: &[u32],
+                            bundles: &[Bundle],
+                            flows: &[FlowSpec],
+                            victims: &mut Vec<u32>,
+                            pred: &dyn Fn(&Bundle, &FlowSpec) -> bool| {
+                    for &bi in live {
+                        let b = &bundles[bi as usize];
+                        for &(_, idx) in &b.members {
+                            if pred(b, &flows[idx as usize]) {
+                                victims.push(idx);
                             }
                         }
-                    };
+                    }
+                };
                 // Rerouting candidates survive; everything left in
                 // `victims` afterwards aborts.
                 let mut reroute_mask: Option<usize> = None;
@@ -692,7 +934,7 @@ pub fn simulate_faulted_observed(
                         let n = *node as usize;
                         if n < host_down.len() {
                             host_down[n] = true;
-                            pull(&mut active, &flows, &|_, s| {
+                            pull(&live, &bundles, &flows, &mut victims, &|_, s| {
                                 s.src.0 as usize == n || s.dst.0 as usize == n
                             });
                         }
@@ -712,7 +954,9 @@ pub fn simulate_faulted_observed(
                             // Every cached distance table may now cross
                             // the dead link.
                             router.invalidate();
-                            pull(&mut active, &flows, &|f, _| f.links.contains(&(l as u32)));
+                            pull(&live, &bundles, &flows, &mut victims, &|b, _| {
+                                b.links.contains(&(l as u32))
+                            });
                             reroute_mask = Some(l);
                         }
                     }
@@ -721,7 +965,7 @@ pub fn simulate_faulted_observed(
                         if l < cur_capacities.len() && !link_down[l] {
                             let bps = capacities[l] * factor.clamp(0.0, 1.0);
                             cur_capacities[l] = bps;
-                            // The link's flows seed the incremental dirty
+                            // The link's bundles seed the incremental dirty
                             // set; only their component re-solves.
                             fair.set_capacity(l as u32, bps);
                         }
@@ -733,70 +977,94 @@ pub fn simulate_faulted_observed(
                                 mask[n as usize] = true;
                             }
                         }
-                        pull(&mut active, &flows, &|_, s| {
+                        pull(&live, &bundles, &flows, &mut victims, &|_, s| {
                             mask[s.src.0 as usize] != mask[s.dst.0 as usize]
                         });
                         partitions.push(mask);
                     }
                 }
-                for mut f in victims {
-                    let spec = flows[f.idx];
+                victims.sort_unstable();
+                for idx in victims {
+                    let id = idx as usize;
+                    let rem_q = leave_bundle(
+                        &mut bundles,
+                        &mut live,
+                        &mut fair,
+                        &mut member_of,
+                        &mut active_members,
+                        id,
+                    );
+                    let spec = flows[id];
                     // A flow displaced by LinkDown keeps its undrained
                     // bits on a surviving path, if one exists.
                     if reroute_mask.is_some() {
                         if let Some(path) =
-                            router.route_avoiding(spec.src, spec.dst, f.idx as u64, &link_down)
+                            router.route_avoiding(spec.src, spec.dst, id as u64, &link_down)
                         {
                             let new_links: Vec<u32> = path.into_iter().map(|l| l.0).collect();
-                            let carried = spec.bytes.min((f.remaining_bits / 8.0).round() as u64);
+                            let carried = spec.bytes.min((q_to_bits(rem_q) / 8.0).round() as u64);
                             for &l in &new_links {
                                 link_bytes[l as usize] += carried;
                             }
-                            fair.remove_flow(f.fair);
-                            f.fair = fair.insert_flow(&new_links);
-                            f.links = new_links;
+                            let n_links = new_links.len();
+                            let nbi = bundle_for_path(
+                                &mut bundles,
+                                &mut by_path,
+                                options.aggregate,
+                                new_links,
+                            );
+                            join_bundle(
+                                &mut bundles,
+                                &mut live,
+                                &mut fair,
+                                &mut member_of,
+                                &mut active_members,
+                                nbi,
+                                id,
+                                rem_q,
+                            );
+                            peak_bundles = peak_bundles.max(live.len());
                             fstats.rerouted_flows += 1;
                             c_rerouted.inc();
                             obs.trace(
                                 t.as_nanos(),
                                 "netsim",
                                 "flow_reroute",
-                                Some(f.idx as u64),
-                                || format!("carried={carried} onto {} links", f.links.len()),
+                                Some(id as u64),
+                                || format!("carried={carried} onto {n_links} links"),
                             );
-                            active.push(f);
                             continue;
                         }
                     }
-                    fair.remove_flow(f.fair);
-                    let lost = spec.bytes.min((f.remaining_bits / 8.0).round() as u64);
+                    let lost = spec.bytes.min((q_to_bits(rem_q) / 8.0).round() as u64);
                     c_aborted.inc();
                     obs.trace(
                         t.as_nanos(),
                         "netsim",
                         "flow_abort",
-                        Some(f.idx as u64),
+                        Some(id as u64),
                         || format!("killed by fault, lost_bytes={lost}"),
                     );
                     fstats.lost_bytes += lost;
                     fstats.delivered_bytes += spec.bytes - lost;
-                    fstats.aborted.push(f.idx);
+                    fstats.aborted.push(id);
                     let finish = SimTime::from_secs_f64(now).max(t);
                     let result = FlowResult { spec, finish };
-                    results[f.idx] = Some(result);
-                    for mut child in source.on_flow_aborted(FlowId(f.idx), &result, lost) {
+                    results[id] = Some(result);
+                    for mut child in source.on_flow_aborted(FlowId(id), &result, lost) {
                         if child.start < t {
                             child.start = t;
                         }
                         let child_id = flows.len();
                         flows.push(child);
                         results.push(None);
+                        member_of.push(None);
                         queue.push(child.start, Ev::Arrive { id: child_id });
                     }
                 }
                 if let Some(l) = reroute_mask {
-                    // Zero the dead link's share only after its flows have
-                    // left it (no flow may hold a 0-capacity link).
+                    // Zero the dead link's share only after its bundles
+                    // have left it (no entry may hold a 0-capacity link).
                     fair.set_capacity(l as u32, 0.0);
                 }
             }
@@ -804,13 +1072,18 @@ pub fn simulate_faulted_observed(
         }
 
         // Re-predict the earliest completion with the post-event rates and
-        // remainders — the exact expression the pre-engine loop evaluated
-        // each iteration, so the drain arithmetic stays bit-identical.
+        // remainders. Only each bundle's head member (minimum target) can
+        // finish first — members share one rate — so the fold is
+        // O(bundles), not O(flows).
         gen += 1;
-        let next_completion = active
-            .iter()
-            .map(|f| now + f.remaining_bits / fair.rate(f.fair).max(1e-9))
-            .fold(f64::INFINITY, f64::min);
+        let mut next_completion = f64::INFINITY;
+        for &bi in &live {
+            let b = &bundles[bi as usize];
+            let &(target, _) = b.members.iter().next().expect("live bundle has members");
+            let rem_bits = q_to_bits(target.saturating_sub(b.service));
+            let pred = now + rem_bits / fair.rate(b.fair.expect("live bundle")).max(1e-9);
+            next_completion = next_completion.min(pred);
+        }
         if next_completion.is_finite() {
             queue.push(
                 SimTime::from_secs_f64(next_completion).max(t),
@@ -826,6 +1099,8 @@ pub fn simulate_faulted_observed(
         obs.add("netsim", "events", events);
         obs.gauge("netsim", "peak_active")
             .set_max(peak_active as u64);
+        obs.gauge("netsim", "peak_bundles")
+            .set_max(peak_bundles as u64);
         obs.gauge("netsim", "fair_solves").set_max(fair.solves());
         obs.gauge("netsim", "fair_solved_flows")
             .set_max(fair.solved_flows());

@@ -246,6 +246,66 @@ fn fault_schedules_never_change_comparisons_across_widths_and_oracle() {
 }
 
 #[test]
+fn aggregation_and_solver_width_knobs_never_change_replays() {
+    use keddah::core::replay::{replay_model_closed, replay_model_closed_faulted};
+    use keddah::faults::{generate, FaultGen};
+
+    // Flow bundles (`aggregate`) and parallel component solves
+    // (`solver_jobs`) are pure performance knobs: every cell of the
+    // matrix below — including the pre-bundle singleton shape and an
+    // 8-wide solver — must reproduce finish times, link bytes and fault
+    // accounting bit for bit, on both the clean and the faulted path.
+    let cluster = ClusterSpec::racks(2, 3);
+    let config = HadoopConfig::default().with_reducers(3);
+    let job = JobSpec::new(Workload::TeraSort, 512 << 20);
+    let traces = Keddah::capture(&cluster, &config, &job, 2, 17);
+    let model = Keddah::fit(&traces).expect("fits");
+    let topo = Topology::leaf_spine(3, 3, 2, 1e9, 2.0);
+    let gen = FaultGen {
+        hosts: topo.host_count(),
+        links: topo.link_count() as u32,
+        horizon_nanos: 30_000_000_000,
+        node_crashes: 1,
+        recover_after_nanos: Some(10_000_000_000),
+        link_downs: 1,
+        link_degrades: 1,
+        partitions: 0,
+    };
+    let spec = generate(&gen, 41);
+
+    let fingerprint = |aggregate: bool, solver_jobs: usize| {
+        let opts = SimOptions {
+            aggregate,
+            solver_jobs,
+            mouse_threshold: 10_000,
+            ..SimOptions::default()
+        };
+        let clean = replay_model_closed(&model, &topo, 2, 11, 5.0, opts).expect("clean replay");
+        let faulted = replay_model_closed_faulted(&model, &topo, 2, 11, 5.0, &spec, opts)
+            .expect("faulted replay");
+        assert!(faulted.sim.faults.faults_applied > 0, "schedule fired");
+        let nanos = |r: &keddah::core::replay::ReplayReport| -> Vec<u64> {
+            r.sim.results.iter().map(|f| f.finish.as_nanos()).collect()
+        };
+        (
+            nanos(&clean),
+            clean.sim.link_bytes.clone(),
+            nanos(&faulted),
+            faulted.sim.link_bytes.clone(),
+            faulted.sim.faults.clone(),
+        )
+    };
+    let base = fingerprint(true, 1);
+    assert_eq!(base, fingerprint(true, 8), "solver width changes nothing");
+    assert_eq!(
+        base,
+        fingerprint(false, 1),
+        "singleton-bundle oracle is byte-identical to aggregation"
+    );
+    assert_eq!(base, fingerprint(false, 8), "oracle at width 8");
+}
+
+#[test]
 fn trace_serialization_is_stable() {
     let cluster = ClusterSpec::racks(1, 4);
     let config = HadoopConfig::default().with_reducers(2);

@@ -3,11 +3,14 @@
 //! per-component FCT summaries pinned to exact nanosecond values.
 //!
 //! The pins freeze the replay engine's externally visible arithmetic:
-//! any change to routing, fair sharing (incremental or not), drain
-//! order or completion prediction that shifts a single flow's finish
-//! time by one nanosecond fails here. Regenerate the fixtures with
-//! `keddah capture` (workload/seed in each fixture's name) and re-pin
-//! only when the engine's semantics intentionally change.
+//! any change to routing, fair sharing (incremental or not), flow
+//! bundling, drain order or completion prediction that shifts a single
+//! flow's finish time by one nanosecond fails here — and every cell of
+//! the knob matrix (aggregation on/off, solver width 1 vs 8,
+//! full-recompute on/off) must produce the same pins. Regenerate the
+//! fixtures with `keddah capture` (workload/seed in each fixture's
+//! name) and re-pin only when the engine's semantics intentionally
+//! change.
 
 use keddah::core::replay::{replay_trace, replay_trace_closed, ReplayReport};
 use keddah::flowcap::Trace;
@@ -50,27 +53,37 @@ fn summarize(report: &ReplayReport) -> Vec<(u32, u64, u64, u64)> {
         .collect()
 }
 
-/// Replays `name` both ways and checks the pinned summaries; also
-/// verifies the full-recompute oracle reproduces them bit-for-bit.
+/// Replays `name` both ways and checks the pinned summaries across the
+/// engine's performance-knob matrix: incremental vs full-recompute fair
+/// share, flow bundles vs singleton entries (the `KEDDAH_NO_AGGREGATE`
+/// oracle shape) and sequential vs 8-way parallel component solves.
+/// Every cell must reproduce the pins bit-for-bit — the knobs trade
+/// wall-clock, never results.
 fn check(name: &str, open_pins: &[(u32, u64, u64, u64)], closed_pins: &[(u32, u64, u64, u64)]) {
     let trace = fixture(name);
     let topo = fabric();
-    for full_recompute in [false, true] {
+    for (full_recompute, aggregate, solver_jobs) in [
+        (false, true, 1),
+        (false, true, 8),
+        (false, false, 1),
+        (true, true, 8),
+        (true, false, 1),
+    ] {
         let opts = SimOptions {
             full_recompute,
+            aggregate,
+            solver_jobs,
             ..options()
         };
+        let knobs =
+            format!("full_recompute={full_recompute} aggregate={aggregate} jobs={solver_jobs}");
         let open = replay_trace(&trace, &topo, opts).expect("open replay");
-        assert_eq!(
-            summarize(&open),
-            open_pins,
-            "{name} open loop (full_recompute={full_recompute})"
-        );
+        assert_eq!(summarize(&open), open_pins, "{name} open loop ({knobs})");
         let closed = replay_trace_closed(&trace, &topo, opts).expect("closed replay");
         assert_eq!(
             summarize(&closed),
             closed_pins,
-            "{name} closed loop (full_recompute={full_recompute})"
+            "{name} closed loop ({knobs})"
         );
     }
 }

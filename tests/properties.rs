@@ -212,6 +212,73 @@ proptest! {
         }
     }
 
+    /// Per-flow rates recovered from weighted flow bundles are
+    /// bit-identical to the unaggregated per-flow solve, on arbitrary
+    /// topologies, path mixes and churn orders — the equivalence the
+    /// netsim bundle engine rests on. The per-flow shadow solves with a
+    /// 4-wide parallel runner, so the comparison also pins that solver
+    /// width never changes a rate.
+    #[test]
+    fn aggregated_rates_match_per_flow(
+        caps in prop::collection::vec(1.0f64..1e9, 1..10),
+        paths in prop::collection::vec(prop::collection::vec(0u32..10, 0..4), 1..8),
+        ops in prop::collection::vec((any::<bool>(), 0usize..64), 1..40),
+    ) {
+        use keddah::netsim::fair::{FairFlowId, FairShareState};
+        use std::collections::HashMap;
+
+        let paths: Vec<Vec<u32>> = paths
+            .into_iter()
+            .map(|p| p.into_iter().map(|l| l % caps.len() as u32).collect())
+            .collect();
+
+        let mut bundled = FairShareState::new(caps.clone(), 1e10);
+        let mut perflow = FairShareState::new(caps.clone(), 1e10).with_parallel(4);
+        // Live flows as (path index, per-flow handle); one weighted
+        // bundle entry per distinct path index.
+        let mut live: Vec<(usize, FairFlowId)> = Vec::new();
+        let mut bundles: HashMap<usize, (FairFlowId, u32)> = HashMap::new();
+
+        for (insert, pick) in ops {
+            if insert || live.is_empty() {
+                let pi = pick % paths.len();
+                let fid = perflow.insert_flow(&paths[pi]);
+                match bundles.get_mut(&pi) {
+                    Some(entry) => {
+                        bundled.add_weight(entry.0, 1);
+                        entry.1 += 1;
+                    }
+                    None => {
+                        let bid = bundled.insert_weighted(&paths[pi], 1);
+                        bundles.insert(pi, (bid, 1));
+                    }
+                }
+                live.push((pi, fid));
+            } else {
+                let (pi, fid) = live.remove(pick % live.len());
+                perflow.remove_flow(fid);
+                let &(bid, w) = bundles.get(&pi).expect("member has a bundle");
+                if w == 1 {
+                    bundled.remove_flow(bid);
+                    bundles.remove(&pi);
+                } else {
+                    bundled.sub_weight(bid, 1);
+                    bundles.get_mut(&pi).expect("bundle lives").1 = w - 1;
+                }
+            }
+            // Every member's recovered rate equals its singleton rate.
+            for &(pi, fid) in &live {
+                let (bid, _) = bundles[&pi];
+                prop_assert_eq!(
+                    bundled.rate(bid).to_bits(),
+                    perflow.rate(fid).to_bits(),
+                    "path {:?}: bundled {} != per-flow {}",
+                    &paths[pi], bundled.rate(bid), perflow.rate(fid)
+                );
+            }
+        }
+    }
+
     /// Timeline binning conserves every byte it is given.
     #[test]
     fn timeline_conserves_bytes(

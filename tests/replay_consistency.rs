@@ -70,7 +70,11 @@ fn fluid_and_tcp_rank_fabrics_identically() {
 // keddah-des engine behind a TrafficSource; the StaticSource (open-loop)
 // path must stay byte-identical. The expected finish times below were
 // produced by the pre-engine time-stepping loop on the exact seeded flow
-// sets `fixture_flows` regenerates.
+// sets `fixture_flows` regenerates, then re-derived once when flow
+// bundles moved service accounting from f64 bits to Q64 fixed point
+// (one leaf-spine entry shifted by a single nanosecond). The pins are
+// knob-invariant: aggregation, solver parallelism and full-recompute
+// must all reproduce them bit for bit.
 // ---------------------------------------------------------------------
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -152,7 +156,7 @@ fn static_source_is_byte_identical_to_pre_refactor_loop() {
         4_883_467_571,
         4_197_358_083,
         5_210_442_263,
-        10_769_021_212,
+        10_769_021_213,
         2_069_361_046,
         6_276_740_774,
         3_225_987_960,
