@@ -24,7 +24,8 @@ fn main() {
         "{:<10} {:>12} | {:>8} {:>8} {:>8} {:>8}",
         "workload", "total", "read%", "shuffle%", "write%", "ctrl%"
     );
-    let cells: Vec<MatrixCell> = Workload::ALL
+    // Figure rows stay pinned to the paper's seven workloads.
+    let cells: Vec<MatrixCell> = Workload::PAPER
         .iter()
         .map(|&w| MatrixCell::new(w, input_bytes, default_config(), repeats))
         .collect();

@@ -22,7 +22,9 @@ fn main() {
     );
 
     let config = default_config();
-    let cells: Vec<MatrixCell> = Workload::ALL
+    // Paper tables pin the original seven rows in canonical order;
+    // post-paper workloads (pig_join, datagrid, tpcxhs) stay out.
+    let cells: Vec<MatrixCell> = Workload::PAPER
         .iter()
         .map(|&w| MatrixCell::new(w, gib(2), config.clone(), 1))
         .collect();

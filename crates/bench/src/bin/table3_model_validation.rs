@@ -18,7 +18,9 @@ fn main() {
     );
     let cluster = testbed();
     let config = default_config();
-    for (wi, &workload) in Workload::ALL.iter().enumerate() {
+    // Paper rows only, in canonical order: `wi` seeds each campaign, so
+    // appended workloads must never shift these indices.
+    for (wi, &workload) in Workload::PAPER.iter().enumerate() {
         let job = JobSpec::new(workload, gib(8));
         let base = 10_000 * wi as u64;
         let train = Keddah::capture(&cluster, &config, &job, 10, 400 + base);

@@ -75,6 +75,9 @@ impl EndpointPattern {
             Component::Shuffle => EndpointPattern::ManyToFew,
             Component::Control => EndpointPattern::ToMaster,
             Component::Other => EndpointPattern::RandomPair,
+            // Broadcast fans a small payload into every consumer task —
+            // the same few-sink in-cast shape as a shuffle.
+            Component::Broadcast => EndpointPattern::ManyToFew,
         }
     }
 }

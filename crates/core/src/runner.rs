@@ -219,7 +219,10 @@ impl RunSummary {
             Component::Shuffle => self.shuffle,
             Component::HdfsWrite => self.hdfs_write,
             Component::Control => self.control,
-            Component::Other => ComponentTotals::default(),
+            // Other and the DAG-only broadcast component are not
+            // carried in matrix summaries (legacy cells never emit
+            // them); they read back as zeros.
+            Component::Other | Component::Broadcast => ComponentTotals::default(),
         }
     }
 }

@@ -126,6 +126,15 @@ impl TraceSource {
                             && p.end <= f.start
                     })
                 }),
+                // A broadcast fetch (map node = tuple.src pulls the side
+                // payload from a replica holder = tuple.dst) waits for the
+                // write-pipeline hop that delivered the payload to that
+                // holder.
+                Component::Broadcast => best_parent(flows, &order[..pos], |p| {
+                    p.component == Some(Component::HdfsWrite)
+                        && p.tuple.dst == f.tuple.dst
+                        && p.end <= f.start
+                }),
                 // Reads, control and unclassified traffic drive the job;
                 // they replay at their captured times.
                 _ => None,
@@ -237,7 +246,7 @@ impl TrafficSource for TraceSource {
 /// Hadoop's stage structure, used to hold back dependent components.
 fn stage_of(component: Component) -> u8 {
     match component {
-        Component::Shuffle => 2,
+        Component::Shuffle | Component::Broadcast => 2,
         Component::HdfsWrite => 3,
         _ => 1, // HdfsRead, Control, Other drive the job
     }
@@ -365,15 +374,17 @@ impl ModelSource {
         count as usize
     }
 
-    /// Releases job `j`'s shuffle stage at absolute time `release`
-    /// (seconds), cascading straight to the write stage if the model has
-    /// no shuffle flows.
+    /// Releases job `j`'s shuffle stage — shuffles plus broadcast
+    /// distribution, which ride the same map-output barrier — at absolute
+    /// time `release` (seconds), cascading straight to the write stage if
+    /// the model has neither.
     fn release_shuffles(&mut self, j: usize, release: f64, out: &mut Vec<FlowSpec>) {
         if self.jobs[j].shuffle_released {
             return;
         }
         self.jobs[j].shuffle_released = true;
-        let n = self.sample_component(j, Component::Shuffle, release, out);
+        let n = self.sample_component(j, Component::Shuffle, release, out)
+            + self.sample_component(j, Component::Broadcast, release, out);
         self.jobs[j].pending_shuffles = n;
         if n == 0 {
             self.release_writes(j, release, out);
@@ -423,7 +434,7 @@ impl TrafficSource for ModelSource {
                     self.release_shuffles(j, result.finish.as_secs_f64(), &mut out);
                 }
             }
-            Component::Shuffle => {
+            Component::Shuffle | Component::Broadcast => {
                 self.jobs[j].pending_shuffles -= 1;
                 if self.jobs[j].pending_shuffles == 0 {
                     self.release_writes(j, result.finish.as_secs_f64(), &mut out);

@@ -38,16 +38,27 @@ pub enum Component {
     Control,
     /// Traffic on no known Hadoop port.
     Other,
+    /// Small-side payloads replicated to every consumer task over a DAG
+    /// broadcast edge (fragment joins, Pig replicated joins).
+    ///
+    /// Appended after [`Component::Other`]: replay tags are positional
+    /// in [`Component::ALL`], so new variants must only ever be added at
+    /// the end or every committed trace pin shifts.
+    Broadcast,
 }
 
 impl Component {
     /// All components, in the canonical order used by tables and figures.
+    ///
+    /// Replay tags are this slice's positions — append-only, never
+    /// reorder (see [`Component::Broadcast`]).
     pub const ALL: &'static [Component] = &[
         Component::HdfsRead,
         Component::HdfsWrite,
         Component::Shuffle,
         Component::Control,
         Component::Other,
+        Component::Broadcast,
     ];
 
     /// The data-plane components (everything the traffic model fits
@@ -57,6 +68,7 @@ impl Component {
         Component::HdfsRead,
         Component::HdfsWrite,
         Component::Shuffle,
+        Component::Broadcast,
     ];
 
     /// Short snake_case name used in serialized traces and table rows.
@@ -68,6 +80,7 @@ impl Component {
             Component::Shuffle => "shuffle",
             Component::Control => "control",
             Component::Other => "other",
+            Component::Broadcast => "broadcast",
         }
     }
 }
@@ -117,6 +130,8 @@ pub fn classify(flow: &FlowRecord) -> Component {
         }
     } else if service_port == ports::SHUFFLE {
         Component::Shuffle
+    } else if service_port == ports::BROADCAST {
+        Component::Broadcast
     } else if ports::is_control_port(service_port) {
         Component::Control
     } else if ports::is_control_port(flow.tuple.src_port) {
@@ -180,6 +195,14 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_port() {
+        assert_eq!(
+            classify(&flow(ports::BROADCAST, 50, 1 << 20)),
+            Component::Broadcast
+        );
+    }
+
+    #[test]
     fn control_ports() {
         for p in [
             ports::NAMENODE_RPC,
@@ -218,7 +241,14 @@ mod tests {
         let names: Vec<&str> = Component::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            vec!["hdfs_read", "hdfs_write", "shuffle", "control", "other"]
+            vec![
+                "hdfs_read",
+                "hdfs_write",
+                "shuffle",
+                "control",
+                "other",
+                "broadcast"
+            ]
         );
     }
 }

@@ -22,6 +22,13 @@ pub const DATANODE_IPC: u16 = 50020;
 /// Reducers fetch map output segments over this port.
 pub const SHUFFLE: u16 = 13562;
 
+/// Broadcast-edge distribution port used by the DAG job model for
+/// small-side payloads replicated to every consumer task (fragment
+/// joins, Pig replicated joins, Spark-style broadcast variables).
+/// Keddah pins it next to the shuffle port so the classifier can label
+/// the traffic; real deployments serve it from the same ShuffleHandler.
+pub const BROADCAST: u16 = 13563;
+
 /// ResourceManager scheduler address (8030): ApplicationMaster ↔ RM.
 pub const RM_SCHEDULER: u16 = 8030;
 
@@ -69,7 +76,7 @@ pub fn is_control_port(port: u16) -> bool {
 /// Returns true if `port` is a well-known (non-ephemeral) Hadoop port.
 #[must_use]
 pub fn is_hadoop_port(port: u16) -> bool {
-    port == DATANODE_XFER || port == SHUFFLE || is_control_port(port)
+    port == DATANODE_XFER || port == SHUFFLE || port == BROADCAST || is_control_port(port)
 }
 
 #[cfg(test)]
@@ -97,8 +104,10 @@ mod tests {
     fn data_ports_are_not_control() {
         assert!(!is_control_port(DATANODE_XFER));
         assert!(!is_control_port(SHUFFLE));
+        assert!(!is_control_port(BROADCAST));
         assert!(is_hadoop_port(DATANODE_XFER));
         assert!(is_hadoop_port(SHUFFLE));
+        assert!(is_hadoop_port(BROADCAST));
     }
 
     #[test]

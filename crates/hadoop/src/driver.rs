@@ -13,8 +13,10 @@ use rand::SeedableRng;
 
 use crate::cluster::ClusterSpec;
 use crate::config::HadoopConfig;
+use crate::dag::JobDag;
 use crate::net::NetModel;
-use crate::sim::{node_faults, simulate_job_at_faulted, JobCounters};
+pub use crate::sim::StageStats;
+use crate::sim::{node_faults, simulate_dag_at_faulted, simulate_job_at_faulted, JobCounters};
 use crate::workload::JobSpec;
 
 /// The result of one simulated job execution.
@@ -156,6 +158,97 @@ pub fn run_job_with_packets_faulted(
         },
         packets,
     )
+}
+
+/// The result of one simulated DAG execution.
+#[derive(Debug, Clone)]
+pub struct DagRun {
+    /// The classified flow trace captured during the run.
+    pub trace: Trace,
+    /// Job makespan (submission to last stage's completion).
+    pub duration: Duration,
+    /// Simulator-side execution counters (whole job).
+    pub counters: JobCounters,
+    /// Per-stage execution summaries, in stage order.
+    pub stages: Vec<StageStats>,
+}
+
+/// Runs an arbitrary [`JobDag`] on the cluster and captures its
+/// traffic.
+///
+/// A [`crate::Workload`]'s own DAG (`workload.dag()`) captures the
+/// *same trace* as [`run_job`] for that workload — the legacy engine's
+/// byte-identity guarantee, pinned by `tests/dag_model.rs`.
+///
+/// # Panics
+///
+/// Panics if the cluster, config, or DAG fail validation.
+#[must_use]
+pub fn run_dag(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    dag: &JobDag,
+    input_bytes: u64,
+    seed: u64,
+) -> DagRun {
+    run_dag_faulted(cluster, config, dag, input_bytes, seed, &FaultSpec::empty())
+}
+
+/// [`run_dag`] under a fault schedule (the DAG sibling of
+/// [`run_job_faulted`]).
+///
+/// # Panics
+///
+/// As [`run_dag`].
+#[must_use]
+pub fn run_dag_faulted(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    dag: &JobDag,
+    input_bytes: u64,
+    seed: u64,
+    faults: &FaultSpec,
+) -> DagRun {
+    cluster.validate().expect("invalid cluster spec");
+    config.validate().expect("invalid hadoop config");
+    dag.validate().expect("invalid job dag");
+    let timeline = node_faults(faults, cluster.worker_count());
+    let mut net = NetModel::new(cluster.nic_bps);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counters = JobCounters::default();
+    let outcome = simulate_dag_at_faulted(
+        cluster,
+        config,
+        dag,
+        input_bytes,
+        &mut net,
+        &mut rng,
+        &mut counters,
+        keddah_des::SimTime::ZERO,
+        None,
+        &timeline,
+    );
+    let mut assembler = FlowAssembler::new();
+    assembler.extend(net.take_packets());
+    let flows = assembler.finish();
+    let meta = TraceMeta {
+        workload: dag.name.clone(),
+        input_bytes,
+        reducers: config.reducers,
+        replication: config.replication,
+        block_bytes: config.block_bytes,
+        nodes: cluster.worker_count(),
+        seed,
+        counters: (!faults.is_empty()).then(|| counters.to_map()),
+    };
+    let mut trace = Trace::new(meta, flows);
+    trace.classify();
+    DagRun {
+        trace,
+        duration: outcome.end.saturating_since(keddah_des::SimTime::ZERO),
+        counters,
+        stages: outcome.stages,
+    }
 }
 
 /// The result of a chained benchmark session.

@@ -3,8 +3,9 @@
 //! The Keddah paper captured traffic from MapReduce jobs running on a
 //! physical Hadoop cluster. This crate reproduces that *traffic source*
 //! in simulation: HDFS block placement and replication pipelines, YARN
-//! slot scheduling with data locality, the map → shuffle → reduce data
-//! flow with slow-start, straggler noise, iterative multi-round jobs, and
+//! slot scheduling with data locality, a DAG-of-stages data flow (each
+//! stage a map wave with optional shuffle into reducers) with
+//! slow-start, straggler noise, iterative and multi-stage jobs, and
 //! the control plane (heartbeats, NameNode RPCs, AM umbilicals). Every
 //! network transfer is tapped as packets and assembled into the labelled
 //! flow traces (`keddah-flowcap`) that the modelling pipeline consumes.
@@ -31,6 +32,7 @@
 
 mod cluster;
 mod config;
+pub mod dag;
 pub mod driver;
 pub mod hdfs;
 pub mod net;
@@ -40,11 +42,13 @@ mod workload;
 
 pub use cluster::ClusterSpec;
 pub use config::HadoopConfig;
+pub use dag::{DagEdge, EdgeSource, JobDag, StageSpec, TransferKind};
 pub use driver::{
-    run_job, run_job_faulted, run_job_with_packets, run_job_with_packets_faulted, run_repeats,
-    run_repeats_seeded, run_session, JobRun, SessionRun,
+    run_dag, run_dag_faulted, run_job, run_job_faulted, run_job_with_packets,
+    run_job_with_packets_faulted, run_repeats, run_repeats_seeded, run_session, DagRun, JobRun,
+    SessionRun,
 };
-pub use sim::JobCounters;
+pub use sim::{JobCounters, StageStats};
 pub use workload::{JobSpec, Workload, WorkloadProfile};
 
 use std::fmt;

@@ -1,24 +1,30 @@
-//! Discrete-event simulation of a MapReduce job on the cluster.
+//! Discrete-event simulation of a DAG-of-stages job on the cluster.
 //!
 //! The simulator executes the mechanisms that *generate* Hadoop traffic,
-//! at flow granularity:
+//! at flow granularity. A job is a [`JobDag`]; each stage runs as a map
+//! wave (optionally followed by a shuffle into reducers) over the bytes
+//! its in-edges deliver:
 //!
 //! * maps are scheduled onto container slots with the node-local →
-//!   rack-local → remote locality ladder; non-local maps pull their block
-//!   from a DataNode (**HDFS read** traffic);
+//!   rack-local → remote locality ladder; how a map ingests its input
+//!   block depends on the feeding edge's [`TransferKind`] — an HDFS
+//!   read with replica locality (**HDFS read** traffic), a data-grid
+//!   remote read from a uniformly random replica, a stage-to-stage
+//!   shuffle pull, an in-place pipe, while broadcast edges replicate a
+//!   small side payload to every map (**broadcast** traffic);
 //! * reducers launch after the slow-start fraction of maps completes
 //!   (bounded by a ramp-up cap so maps keep priority) and fetch each
 //!   map's partition as it becomes available (**shuffle** traffic);
-//! * reduce output is written through rack-aware replication pipelines
+//! * stage output is written through rack-aware replication pipelines
 //!   (**HDFS write** traffic);
 //! * every block operation performs a NameNode RPC, the job is submitted
 //!   through the ResourceManager, NodeManagers heartbeat, and tasks ping
 //!   their ApplicationMaster (**control** traffic).
 //!
 //! Task compute times follow configured processing rates with log-normal
-//! straggler noise. Iterative workloads chain rounds, either re-reading
-//! the original input (KMeans) or consuming the previous round's output
-//! (PageRank).
+//! straggler noise. The legacy workloads' iterative rounds are unrolled
+//! chains of identical stages (see [`crate::dag`]) and replay
+//! byte-identically to the pre-DAG engine.
 
 use std::collections::{HashMap, HashSet};
 
@@ -31,14 +37,16 @@ use rand::Rng;
 
 use crate::cluster::ClusterSpec;
 use crate::config::HadoopConfig;
+use crate::dag::{EdgeSource, JobDag, StageSpec, TransferKind};
 use crate::hdfs::{Block, Hdfs};
 use crate::net::{NetModel, Payload};
-use crate::workload::{JobSpec, WorkloadProfile};
+use crate::workload::JobSpec;
 
 /// Delay between job submission and the ApplicationMaster becoming ready.
 const AM_STARTUP: Duration = Duration::from_secs(2);
 
-/// Gap between chained rounds of an iterative job.
+/// Gap between consecutive stages of a job (AM tear-down/spin-up of the
+/// next wave; historically the gap between chained rounds).
 const ROUND_GAP: Duration = Duration::from_secs(2);
 
 /// Smallest map output modelled (headers/metadata floor), bytes.
@@ -64,7 +72,8 @@ pub struct JobCounters {
     pub remote_maps: u32,
     /// Reduce tasks launched across all rounds.
     pub reducers: u32,
-    /// MapReduce rounds executed.
+    /// DAG stages executed (legacy name: every stage was a MapReduce
+    /// round before the DAG model).
     pub rounds: u32,
     /// Bytes of HDFS read traffic put on the network.
     pub hdfs_read_bytes: u64,
@@ -72,6 +81,9 @@ pub struct JobCounters {
     pub shuffle_bytes: u64,
     /// Bytes of HDFS write (pipeline) traffic put on the network.
     pub hdfs_write_bytes: u64,
+    /// Bytes of broadcast side-input traffic put on the network (DAG
+    /// broadcast edges only; always zero for the legacy workloads).
+    pub broadcast_bytes: u64,
     /// Shuffle fetches satisfied locally (reducer co-located with map).
     pub local_fetches: u32,
     /// Map attempts that failed and were re-executed (failure injection).
@@ -109,6 +121,12 @@ impl JobCounters {
         m.insert("hdfs_read_bytes".to_string(), self.hdfs_read_bytes);
         m.insert("shuffle_bytes".to_string(), self.shuffle_bytes);
         m.insert("hdfs_write_bytes".to_string(), self.hdfs_write_bytes);
+        // Only present when a broadcast edge actually moved bytes:
+        // committed pre-DAG fixtures embed this map in their metadata
+        // and must keep parsing (and re-capturing) byte-identically.
+        if self.broadcast_bytes > 0 {
+            m.insert("broadcast_bytes".to_string(), self.broadcast_bytes);
+        }
         m.insert("local_fetches".to_string(), u64::from(self.local_fetches));
         m.insert(
             "failed_map_attempts".to_string(),
@@ -199,15 +217,35 @@ pub(crate) struct TaskInterval {
     pub end: SimTime,
 }
 
-/// Result of one MapReduce round.
-pub(crate) struct RoundResult {
+/// Result of one DAG stage.
+pub(crate) struct StageResult {
     pub end: SimTime,
     pub output_blocks: Vec<Block>,
+}
+
+/// How a map attempt ingests its input block — decided per block by the
+/// [`TransferKind`] of the DAG edge that delivered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MapInput {
+    /// Synthesized in place (pipe edges, generator stages): no lookup,
+    /// no traffic.
+    Generate,
+    /// HDFS block read: NameNode lookup, then a locality-preferring
+    /// replica (local → rack → remote ladder).
+    Hdfs,
+    /// Data-grid remote read: catalogue lookup, then a *uniformly
+    /// random* live replica — no locality preference.
+    Remote,
+    /// Stage-to-stage repartition: the slice is pulled from a replica
+    /// of the producer's output over the shuffle port.
+    ShuffleFetch,
 }
 
 #[derive(Debug)]
 struct MapState {
     block: Block,
+    /// How this map reads `block` (from the feeding edge's kind).
+    input: MapInput,
     /// In-flight attempts: (attempt id, node).
     running: Vec<(u32, NodeId)>,
     done: bool,
@@ -279,26 +317,28 @@ enum Event {
     },
 }
 
-/// One MapReduce round (a single map/shuffle/reduce pass).
-pub(crate) struct RoundSim<'a> {
+/// One DAG stage (a map wave, optionally shuffling into reducers).
+pub(crate) struct StageSim<'a> {
     cluster: &'a ClusterSpec,
     config: &'a HadoopConfig,
-    profile: WorkloadProfile,
+    stage: &'a StageSpec,
     hdfs: &'a Hdfs,
     net: &'a mut NetModel,
     rng: &'a mut StdRng,
     counters: &'a mut JobCounters,
     tasks: &'a mut Vec<TaskInterval>,
     am_node: NodeId,
-    /// The job's full node-fault timeline; this round schedules the
+    /// The job's full node-fault timeline; this stage schedules the
     /// not-yet-applied tail (`fault_cursor..`) as DES events.
     faults: &'a [NodeFault],
     fault_cursor: &'a mut usize,
-    /// Workers currently dead, shared across rounds.
+    /// Workers currently dead, shared across stages.
     down: &'a mut HashSet<NodeId>,
-    /// Latest time real (non-fault) work happened; the round's end.
+    /// Latest time real (non-fault) work happened; the stage's end.
     /// `engine.now()` would count ignored fault events queued past it.
     round_end: SimTime,
+    /// Broadcast side-input blocks every map attempt pulls a copy of.
+    broadcast: Vec<Block>,
 
     maps: Vec<MapState>,
     pending_maps: Vec<usize>,
@@ -314,27 +354,29 @@ pub(crate) struct RoundSim<'a> {
     reduce_starts: HashMap<usize, SimTime>,
 }
 
-impl<'a> RoundSim<'a> {
+impl<'a> StageSim<'a> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cluster: &'a ClusterSpec,
         config: &'a HadoopConfig,
-        profile: WorkloadProfile,
+        stage: &'a StageSpec,
         hdfs: &'a Hdfs,
         net: &'a mut NetModel,
         rng: &'a mut StdRng,
         counters: &'a mut JobCounters,
         tasks: &'a mut Vec<TaskInterval>,
         am_node: NodeId,
-        input_blocks: Vec<Block>,
+        input_blocks: Vec<(Block, MapInput)>,
+        broadcast: Vec<Block>,
         faults: &'a [NodeFault],
         fault_cursor: &'a mut usize,
         down: &'a mut HashSet<NodeId>,
     ) -> Self {
         let maps: Vec<MapState> = input_blocks
             .into_iter()
-            .map(|block| MapState {
+            .map(|(block, input)| MapState {
                 block,
+                input,
                 running: Vec::new(),
                 done: false,
                 winner: None,
@@ -345,7 +387,7 @@ impl<'a> RoundSim<'a> {
             })
             .collect();
         let pending_maps: Vec<usize> = (0..maps.len()).collect();
-        let reducer_count = if profile.map_only {
+        let reducer_count = if stage.map_only {
             0
         } else {
             config.reducers as usize
@@ -368,10 +410,10 @@ impl<'a> RoundSim<'a> {
             .filter(|w| !down.contains(w))
             .map(|w| (w, config.slots_per_node))
             .collect();
-        RoundSim {
+        StageSim {
             cluster,
             config,
-            profile,
+            stage,
             hdfs,
             net,
             rng,
@@ -382,6 +424,7 @@ impl<'a> RoundSim<'a> {
             fault_cursor,
             down,
             round_end: SimTime::ZERO,
+            broadcast,
             maps,
             pending_maps,
             reducers,
@@ -405,10 +448,10 @@ impl<'a> RoundSim<'a> {
         (self.config.task_noise_sigma * scale * z).exp()
     }
 
-    /// Runs the round to completion on a [`keddah_des::Engine`], starting
+    /// Runs the stage to completion on a [`keddah_des::Engine`], starting
     /// task scheduling at `start` (via a [`Event::Kick`] event — the same
     /// engine-driven loop the replay simulator uses).
-    pub(crate) fn run(mut self, start: SimTime) -> RoundResult {
+    pub(crate) fn run(mut self, start: SimTime) -> StageResult {
         let mut engine: Engine<Event> = Engine::new();
         self.round_end = start;
         engine.schedule(start, Event::Kick);
@@ -453,24 +496,24 @@ impl<'a> RoundSim<'a> {
             assert_eq!(
                 self.completed_maps,
                 self.maps.len(),
-                "round ended with unfinished maps"
+                "stage ended with unfinished maps"
             );
             assert_eq!(
                 self.completed_reducers,
                 self.reducers.len(),
-                "round ended with unfinished reducers"
+                "stage ended with unfinished reducers"
             );
         }
-        // With faults, a round can strand work: if every surviving node
+        // With faults, a stage can strand work: if every surviving node
         // is dead and no recovery is scheduled, the job hangs in reality
         // too — the traffic captured up to the stall is the result.
-        RoundResult {
+        StageResult {
             end,
             output_blocks: self.output_blocks,
         }
     }
 
-    /// True once every map and reducer of the round has completed.
+    /// True once every map and reducer of the stage has completed.
     fn round_complete(&self) -> bool {
         self.completed_maps == self.maps.len() && self.completed_reducers == self.reducers.len()
     }
@@ -683,6 +726,54 @@ impl<'a> RoundSim<'a> {
         *self.free_slots.get_mut(&node).expect("known worker") += 1;
     }
 
+    /// Selects the serving replica for map `m`'s input block on `node`.
+    fn pick_replica(&mut self, m: usize, node: NodeId, uniform: bool) -> Option<NodeId> {
+        let block = self.maps[m].block.clone();
+        self.select_live_replica(&block, node, uniform)
+    }
+
+    /// Selects a replica of `block` to serve a read on `node`, skipping
+    /// dead nodes: locality-preferring (`uniform == false`, the HDFS
+    /// ladder — no RNG draw when the block is node-local) or uniformly
+    /// random among live replicas (`uniform == true`, the data-grid
+    /// access pattern, which may still land on `node` and read locally).
+    /// `None` means the read is local (or the data is gone).
+    fn select_live_replica(
+        &mut self,
+        block: &Block,
+        node: NodeId,
+        uniform: bool,
+    ) -> Option<NodeId> {
+        let filtered;
+        let block = if self.down.is_empty() {
+            block
+        } else {
+            filtered = Block {
+                bytes: block.bytes,
+                replicas: block
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|r| !self.down.contains(r))
+                    .collect(),
+            };
+            if filtered.replicas.is_empty() {
+                return None;
+            }
+            &filtered
+        };
+        if uniform {
+            let &choice = block.replicas.as_slice().choose(self.rng)?;
+            if choice == node {
+                None
+            } else {
+                Some(choice)
+            }
+        } else {
+            self.hdfs.select_read_replica(block, node, self.rng)
+        }
+    }
+
     fn launch_map(&mut self, m: usize, node: NodeId, now: SimTime, queue: &mut EventQueue<Event>) {
         self.take_slot(node);
         let attempt = self.maps[m].attempts;
@@ -694,72 +785,135 @@ impl<'a> RoundSim<'a> {
         }
 
         let block_bytes = self.maps[m].block.bytes;
-        let read_done = if self.profile.map_only {
-            // Map-only ingest (TeraGen): input is synthesized locally, no
-            // HDFS read and no block-location lookup.
-            self.counters.local_maps += 1;
-            now
-        } else {
-            // NameNode RPC: getBlockLocations.
-            self.net.exchange(
-                now,
-                node,
-                self.cluster.master(),
-                ports::NAMENODE_RPC,
-                300,
-                600,
-            );
-            // Input: local disk or an HDFS read over the network. With
-            // nodes down, only live replicas can serve; a block with no
-            // live replica at all reads as a local re-ingest (the data
-            // is gone — a real job would fail here, which is out of
-            // scope; see `DESIGN.md`).
-            let replica = if self.down.is_empty() {
-                let block = &self.maps[m].block;
-                self.hdfs.select_read_replica(block, node, self.rng)
-            } else {
-                let block = &self.maps[m].block;
-                let live = Block {
-                    bytes: block.bytes,
-                    replicas: block
-                        .replicas
-                        .iter()
-                        .copied()
-                        .filter(|r| !self.down.contains(r))
-                        .collect(),
-                };
-                if live.replicas.is_empty() {
-                    None
-                } else {
-                    self.hdfs.select_read_replica(&live, node, self.rng)
-                }
-            };
-            match replica {
-                None => {
-                    self.counters.local_maps += 1;
-                    now
-                }
-                Some(source) => {
-                    if self.cluster.same_rack(source, node) {
-                        self.counters.rack_local_maps += 1;
-                    } else {
-                        self.counters.remote_maps += 1;
+        let mut read_done = match self.maps[m].input {
+            MapInput::Generate => {
+                // In-place ingest (pipe edges, TeraGen-style generators):
+                // input is synthesized locally, no read and no
+                // block-location lookup.
+                self.counters.local_maps += 1;
+                now
+            }
+            MapInput::Hdfs => {
+                // NameNode RPC: getBlockLocations.
+                self.net.exchange(
+                    now,
+                    node,
+                    self.cluster.master(),
+                    ports::NAMENODE_RPC,
+                    300,
+                    600,
+                );
+                // Input: local disk or an HDFS read over the network. With
+                // nodes down, only live replicas can serve; a block with no
+                // live replica at all reads as a local re-ingest (the data
+                // is gone — a real job would fail here, which is out of
+                // scope; see `DESIGN.md`).
+                match self.pick_replica(m, node, false) {
+                    None => {
+                        self.counters.local_maps += 1;
+                        now
                     }
-                    self.counters.hdfs_read_bytes += block_bytes;
-                    self.net.transfer(
-                        now,
-                        node,
-                        source,
-                        ports::DATANODE_XFER,
-                        block_bytes,
-                        Payload::ToClient,
-                    )
+                    Some(source) => {
+                        if self.cluster.same_rack(source, node) {
+                            self.counters.rack_local_maps += 1;
+                        } else {
+                            self.counters.remote_maps += 1;
+                        }
+                        self.counters.hdfs_read_bytes += block_bytes;
+                        self.net.transfer(
+                            now,
+                            node,
+                            source,
+                            ports::DATANODE_XFER,
+                            block_bytes,
+                            Payload::ToClient,
+                        )
+                    }
+                }
+            }
+            MapInput::Remote => {
+                // Data-grid access: catalogue lookup, then a uniformly
+                // random live replica — the job landed wherever a slot
+                // was free and pulls its dataset across the fabric.
+                self.net.exchange(
+                    now,
+                    node,
+                    self.cluster.master(),
+                    ports::NAMENODE_RPC,
+                    300,
+                    600,
+                );
+                match self.pick_replica(m, node, true) {
+                    None => {
+                        self.counters.local_maps += 1;
+                        now
+                    }
+                    Some(source) => {
+                        if self.cluster.same_rack(source, node) {
+                            self.counters.rack_local_maps += 1;
+                        } else {
+                            self.counters.remote_maps += 1;
+                        }
+                        self.counters.hdfs_read_bytes += block_bytes;
+                        self.net.transfer(
+                            now,
+                            node,
+                            source,
+                            ports::DATANODE_XFER,
+                            block_bytes,
+                            Payload::ToClient,
+                        )
+                    }
+                }
+            }
+            MapInput::ShuffleFetch => {
+                // Stage-to-stage repartition: the map pulls its slice of
+                // the producer's materialised output over the shuffle
+                // port (no NameNode involvement — the AM knows where the
+                // producer wrote).
+                match self.pick_replica(m, node, false) {
+                    None => {
+                        self.counters.local_fetches += 1;
+                        now
+                    }
+                    Some(source) => {
+                        self.counters.shuffle_bytes += block_bytes;
+                        self.net.transfer(
+                            now,
+                            node,
+                            source,
+                            ports::SHUFFLE,
+                            block_bytes,
+                            Payload::ToClient,
+                        )
+                    }
                 }
             }
         };
 
+        // Broadcast side inputs: every map attempt pulls a copy of each
+        // broadcast block from a replica before compute starts (local
+        // copies are free). Empty for every non-broadcast DAG — no RNG
+        // draws, no traffic.
+        for i in 0..self.broadcast.len() {
+            let block = self.broadcast[i].clone();
+            let replica = self.select_live_replica(&block, node, false);
+            if let Some(source) = replica {
+                self.counters.broadcast_bytes += block.bytes;
+                let f = self.net.transfer(
+                    now,
+                    node,
+                    source,
+                    ports::BROADCAST,
+                    block.bytes,
+                    Payload::ToClient,
+                );
+                read_done = read_done.max(f);
+            }
+        }
+
         let compute_secs = self.config.task_overhead_secs
-            + block_bytes as f64 * self.profile.cpu_factor / self.config.map_rate_bps;
+            + block_bytes as f64 * self.stage.cpu_factor / self.config.map_rate_bps;
         let noise = self.noise(1.0);
         let compute = Duration::from_secs_f64(compute_secs * noise);
         // Failure injection: an attempt may die partway and be
@@ -772,7 +926,7 @@ impl<'a> RoundSim<'a> {
                 read_done + compute.mul_f64(frac),
                 Event::MapFailed { map: m, attempt },
             );
-        } else if self.profile.map_only {
+        } else if self.stage.map_only {
             queue.push(
                 read_done + compute,
                 Event::MapComputeDone { map: m, attempt },
@@ -809,7 +963,7 @@ impl<'a> RoundSim<'a> {
             return;
         };
         let out_noise = self.noise(0.2);
-        let output = ((self.maps[m].block.bytes as f64 * self.profile.map_selectivity * out_noise)
+        let output = ((self.maps[m].block.bytes as f64 * self.stage.map_selectivity * out_noise)
             as u64)
             .max(MIN_MAP_OUTPUT);
         let finish = self.write_output(node, output, now);
@@ -878,7 +1032,7 @@ impl<'a> RoundSim<'a> {
             return;
         }
         let out_noise = self.noise(0.5);
-        let output = ((self.maps[m].block.bytes as f64 * self.profile.map_selectivity * out_noise)
+        let output = ((self.maps[m].block.bytes as f64 * self.stage.map_selectivity * out_noise)
             as u64)
             .max(MIN_MAP_OUTPUT);
         self.maps[m].done = true;
@@ -1042,7 +1196,7 @@ impl<'a> RoundSim<'a> {
             return;
         }
         let compute_secs = self.config.task_overhead_secs
-            + state.input_bytes as f64 * self.profile.cpu_factor / self.config.reduce_rate_bps;
+            + state.input_bytes as f64 * self.stage.cpu_factor / self.config.reduce_rate_bps;
         let noise = self.noise(1.0);
         self.reducers[r].compute_scheduled = true;
         queue.push(
@@ -1139,7 +1293,7 @@ impl<'a> RoundSim<'a> {
             return; // the attempt died with its node; a fresh one re-runs
         }
         let node = self.reducers[r].node.expect("running reducer");
-        let output = (self.reducers[r].input_bytes as f64 * self.profile.reduce_selectivity) as u64;
+        let output = (self.reducers[r].input_bytes as f64 * self.stage.reduce_selectivity) as u64;
         let block_start = self.output_blocks.len();
         let finish = self.write_output(node, output, now);
         self.reducers[r].written = Some((block_start, self.output_blocks.len() - block_start));
@@ -1234,7 +1388,7 @@ pub(crate) fn simulate_job_at(
 }
 
 /// [`simulate_job_at`] under a node-fault timeline: crashes and
-/// recoveries fire as DES events inside the rounds (killing attempts,
+/// recoveries fire as DES events inside the stages (killing attempts,
 /// invalidating map output, restarting reducers), and every crash that
 /// costs a stored block a replica triggers NameNode-commanded
 /// re-replication traffic after the heartbeat-expiry delay.
@@ -1253,7 +1407,83 @@ pub(crate) fn simulate_job_at_faulted(
     input_blocks: Option<Vec<Block>>,
     faults: &[NodeFault],
 ) -> (SimTime, Vec<Block>) {
-    let profile = job.workload.profile();
+    let dag = job.workload.dag();
+    let outcome = simulate_dag_at_faulted(
+        cluster,
+        config,
+        &dag,
+        job.input_bytes,
+        net,
+        rng,
+        counters,
+        start,
+        input_blocks,
+        faults,
+    );
+    (outcome.end, outcome.last_output)
+}
+
+/// Per-stage execution summary, derived from counter deltas around each
+/// stage's run — the DAG-level ground truth `keddah dag show` and the
+/// driver expose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name from the [`JobDag`].
+    pub name: String,
+    /// Map tasks the stage launched.
+    pub maps: u32,
+    /// Reduce tasks the stage launched.
+    pub reducers: u32,
+    /// Bytes the stage's non-broadcast in-edges delivered
+    /// (post-selectivity).
+    pub input_bytes: u64,
+    /// Bytes the stage materialised to HDFS.
+    pub output_bytes: u64,
+    /// Broadcast side-input bytes the stage's maps pulled.
+    pub broadcast_bytes: u64,
+}
+
+/// Outcome of a full DAG simulation.
+pub(crate) struct DagOutcome {
+    pub end: SimTime,
+    pub last_output: Vec<Block>,
+    pub stages: Vec<StageStats>,
+}
+
+/// Scales a producer block through an edge's selectivity. Unity
+/// selectivity is the identity (bit-for-bit: no float round-trip), so
+/// legacy degenerate DAGs hand stages exactly the blocks the old round
+/// chain did.
+fn scale_block(block: &Block, selectivity: f64) -> Block {
+    if selectivity == 1.0 {
+        block.clone()
+    } else {
+        Block {
+            bytes: ((block.bytes as f64 * selectivity) as u64).max(1),
+            replicas: block.replicas.clone(),
+        }
+    }
+}
+
+/// Simulates a [`JobDag`]: submission, AM startup, every stage in
+/// topological order over the bytes its in-edges deliver, then the
+/// re-replication and control planes over the whole span.
+///
+/// The caller provides the shared [`NetModel`] tap; the packets it
+/// accumulates are the capture.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_dag_at_faulted(
+    cluster: &ClusterSpec,
+    config: &HadoopConfig,
+    dag: &JobDag,
+    input_bytes: u64,
+    net: &mut NetModel,
+    rng: &mut StdRng,
+    counters: &mut JobCounters,
+    start: SimTime,
+    input_blocks: Option<Vec<Block>>,
+    faults: &[NodeFault],
+) -> DagOutcome {
     let hdfs = Hdfs::new(cluster.clone());
     let master = cluster.master();
     let am_node = NodeId(1 + (rng.random::<u32>() % cluster.worker_count()));
@@ -1271,19 +1501,20 @@ pub(crate) fn simulate_job_at_faulted(
     let mut tasks: Vec<TaskInterval> = Vec::new();
 
     let original_blocks = input_blocks.unwrap_or_else(|| {
-        hdfs.place_file(job.input_bytes, config.block_bytes, config.replication, rng)
+        hdfs.place_file(input_bytes, config.block_bytes, config.replication, rng)
     });
-    let mut round_input = original_blocks.clone();
     let mut t = start + AM_STARTUP;
     let mut job_end = t;
     let mut last_output: Vec<Block> = Vec::new();
-    // All blocks the job ever stored (input plus every round's output):
+    // All blocks the job ever stored (input plus every stage's output):
     // the inventory the re-replication pass scans for lost replicas.
     let mut stored_blocks = original_blocks.clone();
+    let mut stage_outputs: Vec<Vec<Block>> = Vec::with_capacity(dag.stages.len());
+    let mut stage_stats: Vec<StageStats> = Vec::with_capacity(dag.stages.len());
     let mut fault_cursor = 0usize;
     let mut down: HashSet<NodeId> = HashSet::new();
-    for round in 0..profile.iterations {
-        // Faults landing before the round starts (or between rounds)
+    for (i, stage) in dag.stages.iter().enumerate() {
+        // Faults landing before the stage starts (or between stages)
         // apply directly: the node is simply absent (or back) when
         // scheduling begins.
         while fault_cursor < faults.len() && faults[fault_cursor].at <= t {
@@ -1296,17 +1527,55 @@ pub(crate) fn simulate_job_at_faulted(
             fault_cursor += 1;
         }
         counters.rounds += 1;
-        let sim = RoundSim::new(
+        // Resolve the stage's in-edges to concrete input blocks, each
+        // tagged with the read mode its edge implies; broadcast edges
+        // become side-input payloads every map pulls.
+        let mut inputs: Vec<(Block, MapInput)> = Vec::new();
+        let mut broadcast: Vec<Block> = Vec::new();
+        for edge in dag.in_edges(i) {
+            let source_blocks: &[Block] = match edge.from {
+                EdgeSource::JobInput => &original_blocks,
+                // An upstream stage stranded by faults may have produced
+                // nothing; fall back to the job input (the legacy
+                // engine's empty-round fallback, kept for byte-identity
+                // of faulted captures).
+                EdgeSource::Stage(p) if stage_outputs[p].is_empty() => &original_blocks,
+                EdgeSource::Stage(p) => &stage_outputs[p],
+            };
+            if edge.kind == TransferKind::Broadcast {
+                broadcast.extend(
+                    source_blocks
+                        .iter()
+                        .map(|b| scale_block(b, edge.selectivity)),
+                );
+            } else {
+                let mode = match edge.kind {
+                    TransferKind::HdfsRead => MapInput::Hdfs,
+                    TransferKind::RemoteRead => MapInput::Remote,
+                    TransferKind::Shuffle => MapInput::ShuffleFetch,
+                    TransferKind::Pipe | TransferKind::Broadcast => MapInput::Generate,
+                };
+                inputs.extend(
+                    source_blocks
+                        .iter()
+                        .map(|b| (scale_block(b, edge.selectivity), mode)),
+                );
+            }
+        }
+        let before = *counters;
+        let stage_input_bytes: u64 = inputs.iter().map(|(b, _)| b.bytes).sum();
+        let sim = StageSim::new(
             cluster,
             config,
-            profile,
+            stage,
             &hdfs,
             net,
             rng,
             counters,
             &mut tasks,
             am_node,
-            round_input,
+            inputs,
+            broadcast,
             faults,
             &mut fault_cursor,
             &mut down,
@@ -1315,13 +1584,16 @@ pub(crate) fn simulate_job_at_faulted(
         job_end = result.end;
         last_output = result.output_blocks.clone();
         stored_blocks.extend(result.output_blocks.iter().cloned());
-        round_input = if profile.reread_input || result.output_blocks.is_empty() {
-            original_blocks.clone()
-        } else {
-            result.output_blocks
-        };
+        stage_stats.push(StageStats {
+            name: stage.name.clone(),
+            maps: counters.maps - before.maps,
+            reducers: counters.reducers - before.reducers,
+            input_bytes: stage_input_bytes,
+            output_bytes: result.output_blocks.iter().map(|b| b.bytes).sum(),
+            broadcast_bytes: counters.broadcast_bytes - before.broadcast_bytes,
+        });
+        stage_outputs.push(result.output_blocks);
         t = result.end + ROUND_GAP;
-        let _ = round;
     }
 
     // HDFS re-replication: each worker crash inside the job's span costs
@@ -1399,7 +1671,7 @@ pub(crate) fn simulate_job_at_faulted(
         (600, 900),
         (200, 400),
     );
-    // AM ↔ RM scheduler heartbeats.
+    // AM <-> RM scheduler heartbeats.
     emit_periodic(
         net,
         rng,
@@ -1426,7 +1698,11 @@ pub(crate) fn simulate_job_at_faulted(
     }
     // Job completion notification.
     net.exchange(job_end, am_node, master, ports::RM_SCHEDULER, 800, 300);
-    (job_end, last_output)
+    DagOutcome {
+        end: job_end,
+        last_output,
+        stages: stage_stats,
+    }
 }
 
 /// Emits periodic request/response control exchanges from each client to

@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
-/// The MapReduce job types in the evaluation workload mix.
+use crate::dag::{DagEdge, EdgeSource, JobDag, StageSpec, TransferKind};
+
+/// The job types in the evaluation workload mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Workload {
@@ -31,6 +33,17 @@ pub enum Workload {
     /// the other jobs run): no shuffle, no reducers, pure replicated
     /// writes.
     TeraGen,
+    /// Pig-style multi-stage pipeline: load→filter both join sides,
+    /// fragment-replicate join (shuffle + broadcast), group, store —
+    /// five stages, two shuffles, one broadcast edge.
+    PigJoin,
+    /// Data-grid analysis job (CERN-style): map-only pass over a
+    /// dataset pulled by *remote read* from a uniformly random replica
+    /// — no rack locality, no shuffle, tiny derived output.
+    DataGrid,
+    /// TPCx-HS benchmark preset: teragen→terasort→teravalidate as one
+    /// DAG, the full benchmark run as a single job.
+    TpcxHs,
 }
 
 /// The data-flow characteristics of a workload.
@@ -56,7 +69,24 @@ pub struct WorkloadProfile {
 }
 
 impl Workload {
-    /// All workloads in canonical table order.
+    /// The seven workloads of the paper's evaluation, in the canonical
+    /// row order of its tables and figures. **This slice is the single
+    /// source of that ordering**: every table/figure emitter iterates
+    /// `PAPER`, so growing the workload zoo (appending to [`ALL`](Self::ALL))
+    /// can never reorder committed artefacts.
+    pub const PAPER: &'static [Workload] = &[
+        Workload::WordCount,
+        Workload::TeraSort,
+        Workload::PageRank,
+        Workload::KMeans,
+        Workload::Bayes,
+        Workload::Grep,
+        Workload::TeraGen,
+    ];
+
+    /// All workloads: the paper's seven first (in [`PAPER`](Self::PAPER)
+    /// order), then the DAG-native families. Append-only — new
+    /// workloads go at the end.
     pub const ALL: &'static [Workload] = &[
         Workload::WordCount,
         Workload::TeraSort,
@@ -65,6 +95,9 @@ impl Workload {
         Workload::Bayes,
         Workload::Grep,
         Workload::TeraGen,
+        Workload::PigJoin,
+        Workload::DataGrid,
+        Workload::TpcxHs,
     ];
 
     /// Short snake_case name used in trace metadata and table rows.
@@ -78,6 +111,9 @@ impl Workload {
             Workload::Bayes => "bayes",
             Workload::Grep => "grep",
             Workload::TeraGen => "teragen",
+            Workload::PigJoin => "pig_join",
+            Workload::DataGrid => "datagrid",
+            Workload::TpcxHs => "tpcxhs",
         }
     }
 
@@ -153,6 +189,144 @@ impl Workload {
                 reread_input: false,
                 map_only: true,
             },
+            // The DAG-native workloads keep a descriptive single-stage
+            // profile (their end-to-end selectivity and dominant cost)
+            // for table rows; their execution shape comes from
+            // [`Workload::dag`], not from these fields.
+            Workload::PigJoin => WorkloadProfile {
+                map_selectivity: 0.35,
+                reduce_selectivity: 0.7,
+                iterations: 1,
+                cpu_factor: 1.3,
+                reread_input: false,
+                map_only: false,
+            },
+            Workload::DataGrid => WorkloadProfile {
+                map_selectivity: 0.05,
+                reduce_selectivity: 1.0,
+                iterations: 1,
+                cpu_factor: 2.0,
+                reread_input: false,
+                map_only: true,
+            },
+            Workload::TpcxHs => WorkloadProfile {
+                map_selectivity: 1.0,
+                reduce_selectivity: 1.0,
+                iterations: 1,
+                cpu_factor: 1.0,
+                reread_input: false,
+                map_only: false,
+            },
+        }
+    }
+
+    /// The workload's execution plan as a [`JobDag`].
+    ///
+    /// The paper's seven workloads are degenerate DAGs — a chain of
+    /// `iterations` identical stages built from [`profile`](Self::profile)
+    /// — and run byte-identically to the pre-DAG engine. The DAG-native
+    /// families have bespoke stage graphs.
+    #[must_use]
+    pub fn dag(self) -> JobDag {
+        match self {
+            Workload::PigJoin => JobDag {
+                name: self.name().to_string(),
+                stages: vec![
+                    StageSpec::map_only("load_left", 0.35, 1.0),
+                    StageSpec::map_only("load_right", 1.0, 0.6),
+                    StageSpec::map_reduce("join", 1.0, 0.7, 1.3),
+                    StageSpec::map_reduce("group", 1.0, 0.5, 1.1),
+                    StageSpec::map_only("store", 1.0, 0.5),
+                ],
+                edges: vec![
+                    // Both join sides load (and filter) from HDFS; the
+                    // right side is the small table at a tenth of the
+                    // input.
+                    DagEdge {
+                        from: EdgeSource::JobInput,
+                        to: 0,
+                        kind: TransferKind::HdfsRead,
+                        selectivity: 1.0,
+                    },
+                    DagEdge {
+                        from: EdgeSource::JobInput,
+                        to: 1,
+                        kind: TransferKind::HdfsRead,
+                        selectivity: 0.1,
+                    },
+                    // Fragment-replicate join: big side repartitions,
+                    // small side is broadcast to every join task.
+                    DagEdge {
+                        from: EdgeSource::Stage(0),
+                        to: 2,
+                        kind: TransferKind::Shuffle,
+                        selectivity: 1.0,
+                    },
+                    DagEdge {
+                        from: EdgeSource::Stage(1),
+                        to: 2,
+                        kind: TransferKind::Broadcast,
+                        selectivity: 1.0,
+                    },
+                    DagEdge {
+                        from: EdgeSource::Stage(2),
+                        to: 3,
+                        kind: TransferKind::Shuffle,
+                        selectivity: 1.0,
+                    },
+                    DagEdge {
+                        from: EdgeSource::Stage(3),
+                        to: 4,
+                        kind: TransferKind::Pipe,
+                        selectivity: 1.0,
+                    },
+                ],
+            },
+            Workload::DataGrid => JobDag::single(
+                self.name(),
+                StageSpec::map_only("analysis", 0.05, 2.0),
+                TransferKind::RemoteRead,
+            ),
+            Workload::TpcxHs => JobDag {
+                name: self.name().to_string(),
+                stages: vec![
+                    StageSpec::map_only("teragen", 1.0, 0.4),
+                    StageSpec::map_reduce("terasort", 1.0, 1.0, 1.0),
+                    // Validate reads everything, emits a few checksums.
+                    StageSpec::map_only("teravalidate", 1e-6, 0.6),
+                ],
+                edges: vec![
+                    DagEdge {
+                        from: EdgeSource::JobInput,
+                        to: 0,
+                        kind: TransferKind::Pipe,
+                        selectivity: 1.0,
+                    },
+                    DagEdge {
+                        from: EdgeSource::Stage(0),
+                        to: 1,
+                        kind: TransferKind::HdfsRead,
+                        selectivity: 1.0,
+                    },
+                    DagEdge {
+                        from: EdgeSource::Stage(1),
+                        to: 2,
+                        kind: TransferKind::HdfsRead,
+                        selectivity: 1.0,
+                    },
+                ],
+            },
+            _ => {
+                let p = self.profile();
+                let stage = StageSpec {
+                    name: self.name().to_string(),
+                    map_selectivity: p.map_selectivity,
+                    reduce_selectivity: p.reduce_selectivity,
+                    cpu_factor: p.cpu_factor,
+                    map_only: p.map_only,
+                };
+                JobDag::chain(self.name(), &stage, p.iterations, p.reread_input)
+            }
         }
     }
 }
@@ -240,10 +414,66 @@ mod tests {
     }
 
     #[test]
-    fn teragen_is_the_only_map_only_job() {
+    fn map_only_profiles_are_the_expected_ones() {
         for &w in Workload::ALL {
-            assert_eq!(w.profile().map_only, w == Workload::TeraGen, "{w}");
+            assert_eq!(
+                w.profile().map_only,
+                matches!(w, Workload::TeraGen | Workload::DataGrid),
+                "{w}"
+            );
         }
+    }
+
+    #[test]
+    fn paper_order_is_a_prefix_of_all() {
+        assert_eq!(&Workload::ALL[..Workload::PAPER.len()], Workload::PAPER);
+    }
+
+    #[test]
+    fn every_workload_has_a_valid_dag() {
+        for &w in Workload::ALL {
+            let dag = w.dag();
+            dag.validate().unwrap();
+            assert_eq!(dag.name, w.name(), "{w}");
+        }
+    }
+
+    #[test]
+    fn legacy_dags_are_degenerate_chains() {
+        for &w in Workload::PAPER {
+            let p = w.profile();
+            let dag = w.dag();
+            assert_eq!(dag.stages.len(), p.iterations as usize, "{w}");
+            assert!(
+                dag.edges.iter().all(|e| e.selectivity == 1.0),
+                "{w}: legacy edges never scale bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn pig_join_has_shuffle_and_broadcast_edges() {
+        let dag = Workload::PigJoin.dag();
+        assert_eq!(dag.stages.len(), 5);
+        let kinds: Vec<TransferKind> = dag.edges.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TransferKind::Shuffle));
+        assert!(kinds.contains(&TransferKind::Broadcast));
+        assert!(kinds.contains(&TransferKind::Pipe));
+    }
+
+    #[test]
+    fn datagrid_is_a_remote_read_scan() {
+        let dag = Workload::DataGrid.dag();
+        assert_eq!(dag.stages.len(), 1);
+        assert_eq!(dag.edges[0].kind, TransferKind::RemoteRead);
+        assert!(dag.stages[0].map_only);
+    }
+
+    #[test]
+    fn tpcxhs_chains_the_benchmark_phases() {
+        let dag = Workload::TpcxHs.dag();
+        let names: Vec<&str> = dag.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["teragen", "terasort", "teravalidate"]);
     }
 
     #[test]

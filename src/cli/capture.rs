@@ -19,7 +19,8 @@ USAGE:
     keddah capture --packets-in <FILE> [FLAGS]
 
 FLAGS:
-    --workload <NAME>      wordcount|terasort|pagerank|kmeans|bayes|grep (required)
+    --workload <NAME>      wordcount|terasort|pagerank|kmeans|bayes|grep|
+                           teragen|pig_join|datagrid|tpcxhs (required)
     --input-gb <N>         input size in GiB            [default: 2]
     --racks <N>            racks of workers             [default: 4]
     --nodes-per-rack <N>   workers per rack             [default: 5]
@@ -243,6 +244,16 @@ pub fn run(args: &Args) -> Result<()> {
         obs.add("capture", "runs", 1);
         obs.add("capture", "flows", run.trace.len() as u64);
         obs.add("capture", "bytes", run.trace.total_bytes());
+        // Flows the classifier couldn't attribute fold into `Other`
+        // downstream; meter them so new stage kinds that emit unfamiliar
+        // traffic show up in the snapshot instead of vanishing silently.
+        let unclassified = run
+            .trace
+            .flows()
+            .iter()
+            .filter(|f| f.component.is_none())
+            .count() as u64;
+        obs.add("capture", "unclassified_flows", unclassified);
         if obs.is_enabled() {
             obs.histogram("capture", "run_duration_secs")
                 .observe(run.duration.as_secs_f64());

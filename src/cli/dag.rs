@@ -1,0 +1,108 @@
+//! `keddah dag` — inspect a workload's stage graph.
+
+use keddah_hadoop::Workload;
+
+use super::{err, Args, Result};
+
+const HELP: &str = "\
+keddah dag — inspect the DAG-of-stages behind a workload
+
+USAGE:
+    keddah dag show --workload <NAME>
+    keddah dag show --all
+
+FLAGS:
+    --workload <NAME>   workload whose stage graph to render
+    --all               render every built-in workload's graph
+    --json              emit the DAG as JSON instead of text
+
+Every workload — the paper's seven and the pipeline/data-grid
+additions — executes as a DAG of stages; `show` renders the stages
+with their in-edges, transfer kinds and selectivities.";
+
+const FLAGS: &[&str] = &["workload", "all", "json"];
+
+fn show_one(workload: Workload, json: bool) -> Result<()> {
+    let dag = workload.dag();
+    if json {
+        let text =
+            serde_json::to_string_pretty(&dag).map_err(|e| err(format!("serialising dag: {e}")))?;
+        println!("{text}");
+    } else {
+        print!("{}", dag.render());
+    }
+    Ok(())
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns an error for bad flags, a missing subcommand, or an unknown
+/// workload name.
+pub fn run(args: &Args) -> Result<()> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    args.check_known(FLAGS)?;
+    match args.positional() {
+        [sub] if sub == "show" => {}
+        [] => return Err(err("missing subcommand; try `keddah dag show`")),
+        [other, ..] => {
+            return Err(err(format!(
+                "unknown dag subcommand `{other}`; try `keddah dag show`"
+            )))
+        }
+    }
+    let json = args.get_bool("json");
+    if args.get_bool("all") {
+        if args.get("workload").is_some() {
+            return Err(err("--all renders every workload; drop --workload"));
+        }
+        for &w in Workload::ALL {
+            show_one(w, json)?;
+            if !json {
+                println!();
+            }
+        }
+        return Ok(());
+    }
+    let name = args.require("workload")?;
+    let workload = Workload::from_name(name).ok_or_else(|| {
+        err(format!(
+            "unknown workload `{name}` (expected one of: {})",
+            Workload::ALL
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+    show_one(workload, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn show_renders_a_workload() {
+        run(&v(&["show", "--workload", "pig_join"])).unwrap();
+        run(&v(&["show", "--all"])).unwrap();
+        run(&v(&["show", "--workload", "terasort", "--json"])).unwrap();
+    }
+
+    #[test]
+    fn bad_invocations_error() {
+        assert!(run(&v(&[])).is_err());
+        assert!(run(&v(&["frob"])).is_err());
+        assert!(run(&v(&["show"])).is_err());
+        assert!(run(&v(&["show", "--workload", "nope"])).is_err());
+        assert!(run(&v(&["show", "--all", "--workload", "terasort"])).is_err());
+    }
+}

@@ -2,6 +2,7 @@
 
 mod args;
 mod capture;
+mod dag;
 mod family;
 mod faults;
 mod fit;
@@ -53,6 +54,7 @@ USAGE:
 
 COMMANDS:
     capture    run simulated Hadoop jobs and write capture traces
+    dag        inspect the DAG-of-stages behind a workload
     matrix     run a workload/configuration matrix across CPU cores
     fit        fit a Keddah model from capture traces
     family     fit scaling-law model families and extrapolate
@@ -80,6 +82,7 @@ pub fn run(argv: &[String]) -> Result<()> {
     };
     match command.as_str() {
         "capture" => capture::run(&Args::parse(rest)?),
+        "dag" => dag::run(&Args::parse(rest)?),
         "matrix" => matrix::run(&Args::parse(rest)?),
         "fit" => fit::run(&Args::parse(rest)?),
         "family" => family::run(&Args::parse(rest)?),

@@ -89,8 +89,8 @@ fn check(name: &str, open_pins: &[(u32, u64, u64, u64)], closed_pins: &[(u32, u6
 }
 
 // Pins: (component tag, flows, summed FCT nanos, max FCT nanos). Tags
-// follow `flowcap::Component` discriminants (0 = input, 1 = shuffle,
-// 2 = output, 3 = control).
+// are positions in `Component::ALL`: 0 = hdfs_read, 1 = hdfs_write,
+// 2 = shuffle, 3 = control, 4 = other, 5 = broadcast.
 
 const TERASORT_OPEN: &[(u32, u64, u64, u64)] = &[
     (1, 18, 41_072_804_258, 3_560_876_638),
@@ -143,6 +143,35 @@ const PAGERANK_CLOSED: &[(u32, u64, u64, u64)] = &[
     (3, 615, 67_287_595, 119_200),
 ];
 
+// Captured from the DAG engine's new workload families: the Pig-style
+// five-stage pipeline (whose fragment-replicate join broadcasts its
+// small side, tag 5) and the data-grid remote-read scan (whose reads
+// cross the fabric uniformly, tag 0).
+
+const PIG_JOIN_OPEN: &[(u32, u64, u64, u64)] = &[
+    (1, 50, 50_307_921_864, 1_865_395_507),
+    (2, 22, 9_101_236_053, 969_805_718),
+    (3, 407, 44_482_811, 119_200),
+    (5, 39, 69_613_204_616, 2_114_024_768),
+];
+const PIG_JOIN_CLOSED: &[(u32, u64, u64, u64)] = &[
+    (1, 50, 43_632_479_855, 2_250_687_094),
+    (2, 22, 9_295_782_808, 986_222_109),
+    (3, 407, 44_482_811, 119_200),
+    (5, 39, 69_613_204_616, 2_114_024_768),
+];
+
+const DATAGRID_OPEN: &[(u32, u64, u64, u64)] = &[
+    (0, 6, 29_769_101_674, 6_010_568_288),
+    (1, 16, 2_570_710_025, 384_628_103),
+    (3, 100, 10_893_154, 114_400),
+];
+const DATAGRID_CLOSED: &[(u32, u64, u64, u64)] = &[
+    (0, 6, 28_911_330_838, 5_796_125_579),
+    (1, 16, 1_601_670_201, 347_085_280),
+    (3, 100, 10_893_154, 114_400),
+];
+
 #[test]
 fn terasort_replay_matches_golden() {
     check("terasort", TERASORT_OPEN, TERASORT_CLOSED);
@@ -165,6 +194,31 @@ fn terasort_nodefail_replay_matches_golden() {
         TERASORT_NODEFAIL_OPEN,
         TERASORT_NODEFAIL_CLOSED,
     );
+}
+
+#[test]
+fn pig_join_replay_matches_golden() {
+    check("pig_join", PIG_JOIN_OPEN, PIG_JOIN_CLOSED);
+}
+
+#[test]
+fn datagrid_replay_matches_golden() {
+    check("datagrid", DATAGRID_OPEN, DATAGRID_CLOSED);
+}
+
+#[test]
+fn pig_join_fixture_carries_broadcast_traffic() {
+    // The committed pipeline capture really exercises the broadcast
+    // component end to end: flows on the broadcast port classify as
+    // such and carry the replicated side input.
+    use keddah::flowcap::Component;
+    let trace = fixture("pig_join");
+    let flows = trace.component_flows(Component::Broadcast).count();
+    assert_eq!(flows, 39, "one fetch per (map, payload block) off-node");
+    assert!(fixture("datagrid")
+        .component_flows(Component::Broadcast)
+        .next()
+        .is_none());
 }
 
 #[test]

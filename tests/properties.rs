@@ -387,7 +387,7 @@ proptest! {
     #[test]
     fn closed_loop_conserves_flows_and_ordering(
         flows in prop::collection::vec(
-            (1u32..6, 1u32..5, 0u64..8_000, 1u64..4_000, 1u64..5_000_000, 0usize..5),
+            (1u32..6, 1u32..5, 0u64..8_000, 1u64..4_000, 1u64..5_000_000, 0usize..6),
             1..30
         )
     ) {
@@ -424,7 +424,7 @@ proptest! {
         let mut captured: BTreeMap<u32, u64> = BTreeMap::new();
         for f in &records {
             *captured
-                .entry(f.component.unwrap() as u32)
+                .entry(f.component.unwrap_or(Component::Other) as u32)
                 .or_default() += f.total_bytes();
         }
         let mut replayed: BTreeMap<u32, u64> = BTreeMap::new();
