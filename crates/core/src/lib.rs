@@ -56,6 +56,7 @@ pub mod pipeline;
 pub mod replay;
 pub mod runner;
 pub mod source;
+pub mod stream;
 pub mod validate;
 
 pub use dataset::Dataset;
@@ -67,6 +68,7 @@ pub use model::KeddahModel;
 pub use pipeline::Keddah;
 pub use runner::{CellResult, MatrixCell, RunSummary, Runner};
 pub use source::{ModelSource, TraceSource};
+pub use stream::{SketchMode, StreamEngine, StreamOptions};
 pub use validate::ValidationReport;
 
 use std::fmt;
@@ -94,6 +96,9 @@ pub enum CoreError {
     Json(String),
     /// A fault schedule failed validation against the replay target.
     Fault(String),
+    /// Streaming ingestion rejected input (e.g. a rotated capture file
+    /// whose workload differs from the stream's).
+    Stream(String),
 }
 
 impl fmt::Display for CoreError {
@@ -107,6 +112,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Json(msg) => write!(f, "model serialization error: {msg}"),
             CoreError::Fault(msg) => write!(f, "fault schedule error: {msg}"),
+            CoreError::Stream(msg) => write!(f, "stream ingestion error: {msg}"),
         }
     }
 }

@@ -1,0 +1,235 @@
+//! Hand-rolled HTTP/1.1 status endpoint for `keddah serve`.
+//!
+//! Deliberately tiny: a nonblocking [`TcpListener`] accept loop over
+//! `std` only (no new dependencies), answering four `GET` routes with
+//! `Connection: close` responses:
+//!
+//! | route      | body                                               |
+//! |------------|----------------------------------------------------|
+//! | `/healthz` | `ok` (liveness probe)                              |
+//! | `/model`   | current fitted model JSON; `404` until first refit |
+//! | `/metrics` | the obs [`MetricsSnapshot`] JSON                   |
+//! | `/status`  | `{generation, runs, flows, files, last_error}`     |
+//!
+//! Requests are served inline on the accept thread — responses are
+//! in-memory strings, so there is nothing to parallelize — and the loop
+//! polls a shutdown flag between accepts, so SIGTERM turns into a clean
+//! exit within one poll interval.
+//!
+//! [`MetricsSnapshot`]: keddah_obs::MetricsSnapshot
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration as StdDuration;
+
+use super::ServeStatus;
+
+/// Shared handle to the serve loop's published status.
+pub type SharedStatus = Arc<Mutex<ServeStatus>>;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: StdDuration = StdDuration::from_millis(20);
+
+/// Per-connection read/write budget; status requests are tiny.
+const IO_TIMEOUT: StdDuration = StdDuration::from_millis(500);
+
+/// Largest request head we bother reading.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Binds the endpoint and switches the listener to nonblocking accepts.
+/// Returns the listener plus the bound address (so `--http 127.0.0.1:0`
+/// reports the kernel-chosen port).
+///
+/// # Errors
+///
+/// Returns any bind/configuration error.
+pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    Ok((listener, local))
+}
+
+/// Runs the accept loop until `shutdown` is set. Connection-level errors
+/// are swallowed (a half-closed probe must not kill the daemon).
+pub fn serve_http(listener: TcpListener, status: SharedStatus, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle(stream, &status);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, status: &SharedStatus) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the end of the request head; the routes take no bodies.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (code, reason, content_type, body) = if method != "GET" {
+        (
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        route(path, status)
+    };
+    let response = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn route(path: &str, status: &SharedStatus) -> (u16, &'static str, &'static str, String) {
+    let snapshot = match status.lock() {
+        Ok(guard) => guard.clone(),
+        Err(_) => {
+            return (
+                500,
+                "Internal Server Error",
+                "text/plain",
+                "status lock poisoned\n".to_string(),
+            )
+        }
+    };
+    match path {
+        "/healthz" => (200, "OK", "text/plain", "ok\n".to_string()),
+        "/model" => match snapshot.model_json {
+            Some(json) => (200, "OK", "application/json", json),
+            None => (
+                404,
+                "Not Found",
+                "text/plain",
+                "no model fitted yet\n".to_string(),
+            ),
+        },
+        "/metrics" => {
+            let body = if snapshot.metrics_json.is_empty() {
+                "{}\n".to_string()
+            } else {
+                snapshot.metrics_json
+            };
+            (200, "OK", "application/json", body)
+        }
+        "/status" => (200, "OK", "application/json", status_json(&snapshot)),
+        _ => (
+            404,
+            "Not Found",
+            "text/plain",
+            "routes: /healthz /model /metrics /status\n".to_string(),
+        ),
+    }
+}
+
+fn status_json(s: &ServeStatus) -> String {
+    let value = serde::Value::Object(vec![
+        ("generation".to_string(), serde::Value::U64(s.generation)),
+        ("runs".to_string(), serde::Value::U64(s.runs)),
+        ("flows".to_string(), serde::Value::U64(s.flows)),
+        ("files".to_string(), serde::Value::U64(s.files)),
+        (
+            "model_fitted".to_string(),
+            serde::Value::Bool(s.model_json.is_some()),
+        ),
+        (
+            "last_error".to_string(),
+            match &s.last_error {
+                Some(e) => serde::Value::Str(e.clone()),
+                None => serde::Value::Null,
+            },
+        ),
+    ]);
+    let mut json = serde::json::write_compact(&value);
+    json.push('\n');
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let code: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn routes_respond_and_shutdown_is_clean() {
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let status = super::super::shared_status();
+        {
+            let mut guard = status.lock().unwrap();
+            guard.runs = 2;
+            guard.flows = 96;
+            guard.files = 2;
+            guard.metrics_json = "{\"subsystems\":{}}".to_string();
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (status, shutdown) = (Arc::clone(&status), Arc::clone(&shutdown));
+            std::thread::spawn(move || serve_http(listener, status, shutdown))
+        };
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let (code, _) = get(addr, "/model");
+        assert_eq!(code, 404, "no model fitted yet");
+
+        status.lock().unwrap().model_json = Some("{\"version\":1}".to_string());
+        status.lock().unwrap().generation = 1;
+        let (code, body) = get(addr, "/model");
+        assert_eq!((code, body.as_str()), (200, "{\"version\":1}"));
+
+        let (code, body) = get(addr, "/status");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"generation\":1"), "body: {body}");
+        assert!(body.contains("\"flows\":96"), "body: {body}");
+        assert!(body.contains("\"last_error\":null"), "body: {body}");
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("subsystems"));
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().expect("accept loop exits cleanly");
+    }
+}

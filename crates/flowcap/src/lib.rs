@@ -9,6 +9,9 @@
 //! * [`PacketRecord`] / [`FlowRecord`] — the capture artefacts;
 //! * [`FlowAssembler`] — 5-tuple flow reassembly with FIN/idle-timeout
 //!   termination, mirroring what a tcpdump post-processor does;
+//! * [`StreamAssembler`] — its bounded-memory streaming counterpart
+//!   (fixed-capacity connection table, eager timeout-driven LRU
+//!   eviction) for long-running ingestion daemons;
 //! * [`classify`] — port/role-based classification into the traffic
 //!   [`Component`]s the paper models (HDFS read, HDFS write, shuffle,
 //!   control);
@@ -40,6 +43,7 @@ mod matrix;
 mod packet;
 pub mod ports;
 mod stats;
+pub mod stream;
 pub mod tcpdump;
 mod trace;
 
@@ -49,4 +53,5 @@ pub use flow::{FiveTuple, FlowRecord};
 pub use matrix::TrafficMatrix;
 pub use packet::{NodeId, PacketRecord};
 pub use stats::{component_stats, ComponentStats, Timeline, TimelineBin};
+pub use stream::{StreamAssembler, StreamConfig, StreamStats};
 pub use trace::{Trace, TraceError, TraceMeta};

@@ -13,6 +13,9 @@
 //! * [`ks`] — one- and two-sample Kolmogorov–Smirnov tests;
 //! * [`fit`] — candidate sweeps with KS/AIC model selection, producing a
 //!   serializable [`fit::FittedDist`] that the Keddah model format embeds;
+//! * [`sketch`] — bounded-memory streaming quantiles (Greenwald–Khanna)
+//!   and a streaming KS test with provable error bounds, the online
+//!   counterpart of the sort-the-world path;
 //! * [`regression`] — ordinary least squares and power-law scaling fits used
 //!   for the traffic-vs-input-size scaling laws.
 //!
@@ -40,6 +43,7 @@ pub mod fit;
 pub mod ks;
 pub mod regression;
 pub mod series;
+pub mod sketch;
 pub mod special;
 mod summary;
 

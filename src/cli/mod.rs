@@ -12,6 +12,7 @@ mod matrix;
 mod mix;
 mod obs_out;
 mod replay;
+mod serve;
 mod stats;
 mod topo_spec;
 mod validate;
@@ -62,6 +63,7 @@ COMMANDS:
     generate   generate synthetic jobs from a model
     mix        generate a multi-tenant workload from a weighted model mix
     replay     replay generated or captured traffic on a topology
+    serve      tail a capture directory, refit online, serve model over HTTP
     faults     generate and inspect fault schedules for degraded runs
     validate   compare generated traffic against capture traces
     stats      render metrics snapshots written by --metrics-out
@@ -90,6 +92,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "generate" => generate::run(&Args::parse(rest)?),
         "mix" => mix::run(&Args::parse(rest)?),
         "replay" => replay::run(&Args::parse(rest)?),
+        "serve" => serve::run(&Args::parse(rest)?),
         "faults" => faults::run(&Args::parse(rest)?),
         "validate" => validate::run(&Args::parse(rest)?),
         "stats" => stats::run(&Args::parse(rest)?),

@@ -53,12 +53,15 @@ pub fn run(args: &Args) -> Result<()> {
 fn render(snapshot: &MetricsSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    if snapshot.is_empty() {
-        out.push_str("(no metrics recorded)\n");
+    let _ = writeln!(out, "{:<10} {:<24} {:>14}", "subsystem", "metric", "value");
+    // A fresh snapshot (e.g. a daemon polled before its first run) must
+    // say so explicitly rather than render an empty table.
+    if snapshot.subsystems.is_empty() {
+        let _ = writeln!(out, "{:<10} {:<24} {:>14}", "-", "(no samples yet)", "-");
         return out;
     }
-    let _ = writeln!(out, "{:<10} {:<24} {:>14}", "subsystem", "metric", "value");
     for (subsystem, metrics) in &snapshot.subsystems {
+        let before = out.len();
         for (name, value) in &metrics.counters {
             let _ = writeln!(out, "{subsystem:<10} {name:<24} {value:>14}");
         }
@@ -69,6 +72,14 @@ fn render(snapshot: &MetricsSnapshot) -> String {
         for (name, hist) in &metrics.histograms {
             let label = format!("{name} (hist)");
             let _ = writeln!(out, "{subsystem:<10} {label:<24} {}", hist.summary);
+        }
+        if out.len() == before {
+            // Registered subsystem with no recorded metrics yet.
+            let _ = writeln!(
+                out,
+                "{subsystem:<10} {:<24} {:>14}",
+                "(no samples yet)", "-"
+            );
         }
     }
     out
@@ -93,11 +104,28 @@ mod tests {
     }
 
     #[test]
-    fn empty_snapshot_renders_placeholder() {
-        assert_eq!(
-            render(&MetricsSnapshot::default()),
-            "(no metrics recorded)\n"
-        );
+    fn empty_snapshot_renders_explicit_no_samples_row() {
+        let table = render(&MetricsSnapshot::default());
+        let mut lines = table.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("subsystem"), "{table}");
+        assert!(header.contains("metric"), "{table}");
+        let row = lines.next().unwrap();
+        assert!(row.contains("(no samples yet)"), "{table}");
+        assert_eq!(lines.next(), None, "exactly header + placeholder row");
+    }
+
+    #[test]
+    fn registered_but_unsampled_subsystem_gets_a_row() {
+        // A subsystem key can exist with no recorded metrics (a daemon's
+        // snapshot polled before any samples): it must still print a row.
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .subsystems
+            .insert("stream".into(), Default::default());
+        let table = render(&snapshot);
+        assert!(table.contains("stream"), "{table}");
+        assert!(table.contains("(no samples yet)"), "{table}");
     }
 
     #[test]

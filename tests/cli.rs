@@ -268,10 +268,214 @@ fn faults_gen_show_and_degraded_replay() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// One HTTP/1.1 GET against the serve endpoint; returns (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to serve endpoint");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("set read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: keddah\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has header break");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Polls `f` until it yields, panicking after a generous deadline.
+fn wait_until<T>(what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timeout waiting for {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Pulls `"generation":N` out of the `/status` JSON without a parser.
+fn status_generation(addr: &str) -> u64 {
+    let (_, body) = http_get(addr, "/status");
+    let tail = body
+        .split("\"generation\":")
+        .nth(1)
+        .expect("generation key");
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("generation number")
+}
+
+/// Atomically lands `src` in the watch directory under `name` — write
+/// outside, rename in — the way a real rotation hand-off does.
+fn rotate_in(src: &std::path::Path, watch: &std::path::Path, name: &str) {
+    let staging = watch.parent().expect("watch has parent").join(name);
+    std::fs::copy(src, &staging).expect("stage rotation");
+    std::fs::rename(&staging, watch.join(name)).expect("rename into watch dir");
+}
+
+/// The daemon loop end to end: two rotated capture files appended to a
+/// watched directory advance the model generation, the served model is
+/// byte-identical to `keddah fit` over the concatenated captures (exact
+/// sample stores: the degenerate sketch config), and SIGTERM shuts the
+/// daemon down cleanly.
+///
+/// The stop flag is process-global, so this is the one test that drives
+/// `serve`; a second would race it.
+#[test]
+fn serve_daemon_end_to_end() {
+    let dir = tmp_dir("serve");
+    let traces = dir.join("traces");
+    run(&[
+        "capture",
+        "--workload",
+        "terasort",
+        "--input-gb",
+        "0.5",
+        "--racks",
+        "2",
+        "--nodes-per-rack",
+        "3",
+        "--reducers",
+        "4",
+        "--repeats",
+        "2",
+        "--seed",
+        "7",
+        "--out",
+        traces.to_str().unwrap(),
+    ])
+    .expect("capture source traces");
+    let mut trace_files: Vec<PathBuf> = std::fs::read_dir(&traces)
+        .expect("traces dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    trace_files.sort();
+    assert_eq!(trace_files.len(), 2);
+
+    // Offline reference: fit the concatenated captures in the same order
+    // the daemon will ingest them.
+    let expected_model = dir.join("expected.json");
+    let mut fit_args = vec![
+        "fit".to_string(),
+        "--out".to_string(),
+        expected_model.to_str().unwrap().to_string(),
+    ];
+    fit_args.extend(trace_files.iter().map(|p| p.to_str().unwrap().to_string()));
+    cli::run(&fit_args).expect("offline fit");
+    let expected = std::fs::read_to_string(&expected_model).expect("expected model");
+
+    let watch = dir.join("watch");
+    std::fs::create_dir_all(&watch).expect("watch dir");
+    let addr_file = dir.join("http.addr");
+    let metrics_file = dir.join("serve-metrics.json");
+    let daemon = {
+        let argv: Vec<String> = [
+            "serve",
+            "--dir",
+            watch.to_str().unwrap(),
+            "--exact",
+            "--poll-ms",
+            "10",
+            "--http-addr-file",
+            addr_file.to_str().unwrap(),
+            "--metrics-out",
+            metrics_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        std::thread::spawn(move || cli::run(&argv).map_err(|e| e.to_string()))
+    };
+
+    let addr = wait_until("bound address file", || {
+        std::fs::read_to_string(&addr_file)
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    });
+
+    // Fresh daemon: healthy, but no model yet.
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+    let (status, _) = http_get(&addr, "/model");
+    assert!(
+        status.contains("404"),
+        "no model before first run: {status}"
+    );
+
+    // First rotation: generation reaches 1.
+    rotate_in(&trace_files[0], &watch, "cap.0.jsonl");
+    wait_until("generation 1", || {
+        (status_generation(&addr) >= 1).then_some(())
+    });
+
+    // Second rotation: generation advances and the served model equals
+    // the offline fit of both captures, byte for byte.
+    rotate_in(&trace_files[1], &watch, "cap.1.jsonl");
+    wait_until("generation 2", || {
+        (status_generation(&addr) >= 2).then_some(())
+    });
+    let (status, served) = http_get(&addr, "/model");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(served, expected, "served model == offline fit");
+
+    // Metrics endpoint serves a parseable snapshot with stream counters.
+    let (_, metrics_body) = http_get(&addr, "/metrics");
+    let snap = keddah::obs::MetricsSnapshot::from_json(&metrics_body).expect("metrics parse");
+    assert_eq!(snap.counter("stream", "runs_ingested"), 2);
+    assert!(snap.counter("stream", "flows_completed") > 0);
+
+    // SIGTERM: clean shutdown, thread joins Ok, final metrics written.
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+    unsafe {
+        raise(15);
+    }
+    daemon
+        .join()
+        .expect("daemon thread joins")
+        .expect("daemon exits cleanly on SIGTERM");
+    let final_snap = keddah::obs::MetricsSnapshot::from_json(
+        &std::fs::read_to_string(&metrics_file).expect("metrics written on shutdown"),
+    )
+    .expect("final metrics parse");
+    assert_eq!(final_snap.counter("stream", "runs_ingested"), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_stdin_one_shot() {
+    // --stdin and --dir are mutually arranged: missing both is an error,
+    // and bad flags are caught before any I/O.
+    assert!(run(&["serve"]).unwrap_err().contains("--dir"));
+    assert!(run(&["serve", "--typo", "1"])
+        .unwrap_err()
+        .contains("unknown flag"));
+    assert!(run(&["serve", "--dir", "/tmp", "--epsilon", "0.9"])
+        .unwrap_err()
+        .contains("eps"));
+}
+
 #[test]
 fn help_everywhere() {
     for cmd in [
         "capture", "fit", "inspect", "generate", "replay", "validate", "faults", "stats", "matrix",
+        "serve", "mix", "family", "dag",
     ] {
         run(&[cmd, "--help"]).expect("help succeeds");
     }
