@@ -1,0 +1,296 @@
+//! Scoring the classifier against a labelled corpus.
+//!
+//! Walks a corpus directory ([`crate::corpus`]), diagnoses every cell's
+//! evidence blind (labels are only opened for scoring), and reports
+//! per-class precision/recall plus the macro averages the CI gate
+//! pins. Cells whose artefacts fail to parse are *counted* — a
+//! diagnosis tool must survive the truncated files of the incident it
+//! explains — and skipped, never fatal.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use keddah_faults::FaultClass;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::{CellLabel, Manifest};
+use crate::{diagnose, DiagnoseError, Diagnosis, Evidence, Result};
+
+/// Confusion counts and derived rates for one fault class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Cells whose ground truth is this class.
+    pub truths: u64,
+    /// Cells whose top verdict was this class.
+    pub predicted: u64,
+    /// Cells where both agree.
+    pub correct: u64,
+    /// `correct / predicted` (0 when never predicted).
+    pub precision: f64,
+    /// `correct / truths` (0 when the class never occurs).
+    pub recall: f64,
+}
+
+/// The committed evaluation artefact (`EVAL_diagnose.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Cells the corpus listed.
+    pub cells: u64,
+    /// Cells skipped because an artefact failed to load or parse.
+    pub parse_errors: u64,
+    /// Cells whose top verdict matched the label.
+    pub correct: u64,
+    /// `correct / scored cells`.
+    pub accuracy: f64,
+    /// Macro-averaged precision over classes present in the truth set.
+    pub macro_precision: f64,
+    /// Macro-averaged recall over classes present in the truth set.
+    pub macro_recall: f64,
+    /// Per-class breakdown, keyed by class label.
+    pub per_class: BTreeMap<String, ClassStats>,
+    /// `"<cell> expected=<class> got=<class>"`, one per miss, in
+    /// corpus order — the first places to look when the gate trips.
+    pub mispredicted: Vec<String>,
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        round4(num as f64 / den as f64)
+    }
+}
+
+/// Scores already-diagnosed cases (the pure half of [`evaluate`]).
+#[must_use]
+pub fn score(cases: &[(CellLabel, Diagnosis)], cells: u64, parse_errors: u64) -> EvalReport {
+    let mut truths: BTreeMap<FaultClass, u64> = BTreeMap::new();
+    let mut predicted: BTreeMap<FaultClass, u64> = BTreeMap::new();
+    let mut correct_by: BTreeMap<FaultClass, u64> = BTreeMap::new();
+    let mut mispredicted = Vec::new();
+    for (label, diagnosis) in cases {
+        let got = diagnosis.top().class;
+        *truths.entry(label.class).or_default() += 1;
+        *predicted.entry(got).or_default() += 1;
+        if got == label.class {
+            *correct_by.entry(got).or_default() += 1;
+        } else {
+            mispredicted.push(format!(
+                "{}_{}_{} expected={} got={}",
+                label.workload, label.class, label.seed, label.class, got
+            ));
+        }
+    }
+    let mut per_class = BTreeMap::new();
+    let (mut precision_sum, mut recall_sum, mut class_count) = (0.0, 0.0, 0u64);
+    for class in FaultClass::ALL {
+        let t = truths.get(&class).copied().unwrap_or(0);
+        let p = predicted.get(&class).copied().unwrap_or(0);
+        let c = correct_by.get(&class).copied().unwrap_or(0);
+        if t == 0 && p == 0 {
+            continue;
+        }
+        let stats = ClassStats {
+            truths: t,
+            predicted: p,
+            correct: c,
+            precision: ratio(c, p),
+            recall: ratio(c, t),
+        };
+        if t > 0 {
+            precision_sum += stats.precision;
+            recall_sum += stats.recall;
+            class_count += 1;
+        }
+        per_class.insert(class.label().to_string(), stats);
+    }
+    let correct: u64 = correct_by.values().sum();
+    EvalReport {
+        cells,
+        parse_errors,
+        correct,
+        accuracy: ratio(correct, cases.len() as u64),
+        macro_precision: round4(precision_sum / class_count.max(1) as f64),
+        macro_recall: round4(recall_sum / class_count.max(1) as f64),
+        per_class,
+        mispredicted,
+    }
+}
+
+/// Diagnoses and scores every cell of the corpus at `dir`.
+///
+/// # Errors
+///
+/// Fails only on a missing/unreadable corpus manifest or an empty
+/// corpus; broken individual cells count as `parse_errors`.
+pub fn evaluate(dir: &Path) -> Result<EvalReport> {
+    let manifest = Manifest::load(dir)?;
+    if manifest.cells.is_empty() {
+        return Err(DiagnoseError::Invalid(format!(
+            "corpus at {} lists no cells",
+            dir.display()
+        )));
+    }
+    let mut cases = Vec::new();
+    let mut parse_errors = 0u64;
+    for name in &manifest.cells {
+        let cell_dir = dir.join(name);
+        let label = load_label(&cell_dir.join("label.json"));
+        let evidence = Evidence::load(&cell_dir.join("evidence.json"));
+        match (label, evidence) {
+            (Ok(label), Ok(evidence)) => cases.push((label, diagnose(&evidence))),
+            _ => parse_errors += 1,
+        }
+    }
+    Ok(score(&cases, manifest.cells.len() as u64, parse_errors))
+}
+
+/// Reads a cell's ground-truth label.
+///
+/// # Errors
+///
+/// [`DiagnoseError::Io`] / [`DiagnoseError::Parse`] as usual.
+pub fn load_label(path: &Path) -> Result<CellLabel> {
+    let shown = path.display().to_string();
+    let input = fs::read_to_string(path).map_err(|e| DiagnoseError::io(&shown, e))?;
+    let value =
+        serde::json::parse(&input).map_err(|e| DiagnoseError::parse(&shown, e.to_string()))?;
+    CellLabel::from_value(&value).map_err(|e| DiagnoseError::parse(&shown, e.to_string()))
+}
+
+impl EvalReport {
+    /// Serializes to pretty JSON (the committed artefact format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::write_pretty(&self.to_value())
+    }
+
+    /// Parses a committed report.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnoseError::Parse`] on malformed input.
+    pub fn from_json(input: &str, origin: &str) -> Result<EvalReport> {
+        let value =
+            serde::json::parse(input).map_err(|e| DiagnoseError::parse(origin, e.to_string()))?;
+        EvalReport::from_value(&value).map_err(|e| DiagnoseError::parse(origin, e.to_string()))
+    }
+
+    /// Reads a committed report from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnoseError::Io`] / [`DiagnoseError::Parse`] as usual.
+    pub fn load(path: &Path) -> Result<EvalReport> {
+        let shown = path.display().to_string();
+        let input = fs::read_to_string(path).map_err(|e| DiagnoseError::io(&shown, e))?;
+        EvalReport::from_json(&input, &shown)
+    }
+
+    /// The CI gate: this (fresh) report must not fall below the
+    /// committed floor on either macro metric.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnoseError::Invalid`] naming the regressed metric.
+    pub fn check_against(&self, committed: &EvalReport) -> Result<()> {
+        const SLACK: f64 = 1e-9;
+        if self.macro_precision < committed.macro_precision - SLACK {
+            return Err(DiagnoseError::Invalid(format!(
+                "macro precision regressed: {} < committed {}",
+                self.macro_precision, committed.macro_precision
+            )));
+        }
+        if self.macro_recall < committed.macro_recall - SLACK {
+            return Err(DiagnoseError::Invalid(format!(
+                "macro recall regressed: {} < committed {}",
+                self.macro_recall, committed.macro_recall
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keddah_faults::FaultSpec;
+
+    fn case(truth: FaultClass, got: FaultClass) -> (CellLabel, Diagnosis) {
+        let label = CellLabel {
+            workload: "terasort".into(),
+            class: truth,
+            seed: 0,
+            spec: FaultSpec::empty(),
+        };
+        let verdicts = FaultClass::ALL
+            .into_iter()
+            .map(|class| crate::Verdict {
+                class,
+                score: if class == got { 0.9 } else { 0.05 },
+                detail: String::new(),
+            })
+            .collect::<Vec<_>>();
+        let mut verdicts = verdicts;
+        verdicts.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.class.cmp(&b.class)));
+        (
+            label,
+            Diagnosis {
+                workload: "terasort".into(),
+                verdicts,
+            },
+        )
+    }
+
+    #[test]
+    fn perfect_cases_score_one() {
+        let cases: Vec<_> = FaultClass::ALL.into_iter().map(|c| case(c, c)).collect();
+        let report = score(&cases, 5, 0);
+        assert_eq!(report.correct, 5);
+        assert_eq!(report.accuracy, 1.0);
+        assert_eq!(report.macro_precision, 1.0);
+        assert_eq!(report.macro_recall, 1.0);
+        assert!(report.mispredicted.is_empty());
+    }
+
+    #[test]
+    fn misses_show_up_per_class_and_by_name() {
+        let cases = vec![
+            case(FaultClass::NodeCrash, FaultClass::NodeCrash),
+            case(FaultClass::NodeCrash, FaultClass::Partition),
+            case(FaultClass::Partition, FaultClass::Partition),
+        ];
+        let report = score(&cases, 3, 1);
+        assert_eq!(report.parse_errors, 1);
+        assert_eq!(report.correct, 2);
+        let crash = &report.per_class["node_crash"];
+        assert_eq!((crash.truths, crash.predicted, crash.correct), (2, 1, 1));
+        assert_eq!(crash.recall, 0.5);
+        let partition = &report.per_class["partition"];
+        assert_eq!(partition.precision, 0.5);
+        assert_eq!(partition.recall, 1.0);
+        assert_eq!(report.mispredicted.len(), 1);
+        assert!(report.mispredicted[0].contains("expected=node_crash got=partition"));
+    }
+
+    #[test]
+    fn gate_trips_on_regression_only() {
+        let good = score(&[case(FaultClass::None, FaultClass::None)], 1, 0);
+        let bad = score(&[case(FaultClass::None, FaultClass::LinkDown)], 1, 0);
+        assert!(good.check_against(&good).is_ok());
+        assert!(bad.check_against(&good).is_err());
+        assert!(good.check_against(&bad).is_ok());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = score(&[case(FaultClass::LinkDown, FaultClass::None)], 1, 0);
+        let back = EvalReport::from_json(&report.to_json(), "test").unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,362 @@
+//! Distilling [`Evidence`] into the discrete and continuous signals the
+//! scoring rules consume.
+//!
+//! Everything here reads *effect* telemetry only: counters a real
+//! cluster's monitoring would expose (aborted/rerouted flow counts,
+//! Hadoop failure counters), timing distributions, and the endpoints of
+//! dead flows. The fault injector's own bookkeeping
+//! (`faults/faults_applied`) is deliberately never consulted — see the
+//! crate docs for the honesty rule.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use keddah_obs::MetricsDiff;
+use keddah_stat::shift::{shift_between, ShiftScore};
+
+use crate::Evidence;
+
+/// Hadoop counters whose *increase* over baseline indicates a worker
+/// died mid-job. Deliberately excludes counters that move in healthy
+/// runs too (`speculative_attempts` fires on ordinary stragglers).
+pub const CRASH_COUNTERS: [&str; 5] = [
+    "node_crashes",
+    "fault_killed_attempts",
+    "failed_map_attempts",
+    "rereplicated_blocks",
+    "rereplication_flows",
+];
+
+/// Minimum samples on *both* sides before a per-component KS shift is
+/// computed; below this the test has no power and only adds noise.
+pub const MIN_SHIFT_SAMPLES: u64 = 8;
+
+/// A node must have been active this late into the baseline run (as a
+/// fraction of baseline makespan) to be eligible for silence detection.
+const SILENT_BASELINE_FRAC: f64 = 0.8;
+
+/// A node is "silent" when its last activity falls before this fraction
+/// of the degraded makespan (while its baseline says it should be busy
+/// until the end).
+const SILENT_DEGRADED_FRAC: f64 = 0.5;
+
+/// The extracted fingerprint of one case: every signal the verdict
+/// rules look at, precomputed and deterministic.
+#[derive(Debug, Clone)]
+pub struct Features {
+    /// Flows a fault killed (max over netsim counters, fault-effect
+    /// counters, and the abort endpoint list).
+    pub aborted_flows: u64,
+    /// Flows the simulator steered around a dead link.
+    pub rerouted_flows: u64,
+    /// Payload bytes lost with aborted flows.
+    pub lost_bytes: u64,
+    /// Per-counter increases over baseline for [`CRASH_COUNTERS`]
+    /// (zero-valued entries omitted).
+    pub crash_counters: BTreeMap<&'static str, u64>,
+    /// Per-component distribution shifts, baseline → degraded.
+    pub shifts: BTreeMap<String, ShiftScore>,
+    /// The node shared by *every* aborted flow, if one exists — the
+    /// signature of a single dead host.
+    pub abort_star: Option<u32>,
+    /// A consistent 2-colouring of the aborted-flow endpoint graph —
+    /// the signature of a partition. Smaller side, sorted.
+    pub abort_cut: Option<Vec<u32>>,
+    /// A node active to the end of the baseline but quiet in the first
+    /// half of the degraded run.
+    pub silent_node: Option<u32>,
+    /// Degraded / baseline makespan (1.0 when no baseline).
+    pub makespan_ratio: f64,
+}
+
+impl Features {
+    /// Total crash-counter evidence; non-zero means a worker died.
+    #[must_use]
+    pub fn crash_signal(&self) -> u64 {
+        self.crash_counters.values().sum()
+    }
+}
+
+/// Largest increase of `name` across subsystems that record the same
+/// effect (netsim and the fault bookkeeping both count aborts; taking
+/// the max keeps the signal when only one side was captured).
+fn effect_counter(diff: &MetricsDiff, subsystems: &[&str], name: &str) -> u64 {
+    subsystems
+        .iter()
+        .map(|sub| diff.counter_increase(sub, name))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The node present in every aborted pair, if any. When both endpoints
+/// qualify (every abort shares the same pair — e.g. a worker whose
+/// flows all ran to the master), the dead host is the one that stopped
+/// talking: earliest last-seen activity wins, then smallest id.
+fn star_of(pairs: &BTreeSet<(u32, u32)>, last_seen: &BTreeMap<u32, f64>) -> Option<u32> {
+    let mut iter = pairs.iter();
+    let &(s, d) = iter.next()?;
+    let mut candidates = BTreeSet::from([s, d]);
+    for &(s, d) in iter {
+        candidates.retain(|n| *n == s || *n == d);
+        if candidates.is_empty() {
+            return None;
+        }
+    }
+    candidates.into_iter().min_by(|&a, &b| {
+        let quiet = |n: u32| last_seen.get(&n).copied().unwrap_or(0.0);
+        quiet(a).total_cmp(&quiet(b)).then(a.cmp(&b))
+    })
+}
+
+/// Tries to 2-colour the aborted-pair graph. Returns the smaller side
+/// (sorted) when the graph is bipartite and both sides are non-empty —
+/// exactly the shape a reachability cut leaves behind. Ties go to the
+/// side containing the smallest node.
+fn cut_of(pairs: &BTreeSet<(u32, u32)>) -> Option<Vec<u32>> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let mut adjacency: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(s, d) in pairs {
+        adjacency.entry(s).or_default().push(d);
+        adjacency.entry(d).or_default().push(s);
+    }
+    let mut colour: BTreeMap<u32, bool> = BTreeMap::new();
+    let nodes: Vec<u32> = adjacency.keys().copied().collect();
+    for &root in &nodes {
+        if colour.contains_key(&root) {
+            continue;
+        }
+        colour.insert(root, false);
+        let mut queue = VecDeque::from([root]);
+        while let Some(node) = queue.pop_front() {
+            let side = colour[&node];
+            for &next in &adjacency[&node] {
+                match colour.get(&next) {
+                    Some(&c) if c == side => return None, // odd cycle: not a cut
+                    Some(_) => {}
+                    None => {
+                        colour.insert(next, !side);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    let mut sides: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+    for (&node, &side) in &colour {
+        sides[usize::from(side)].push(node);
+    }
+    if sides[0].is_empty() || sides[1].is_empty() {
+        return None;
+    }
+    let [a, b] = sides;
+    // BTreeMap iteration already sorted each side; pick the smaller,
+    // breaking ties toward the side holding the smallest node.
+    Some(match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal if a.first() <= b.first() => a,
+        std::cmp::Ordering::Equal => b,
+    })
+}
+
+/// The node that went quiet: active until ≥ 80% of the baseline
+/// makespan, silent after 50% of the degraded one. When several
+/// qualify, the one that fell silent earliest (then smallest id).
+fn silent_node_of(evidence: &Evidence) -> Option<u32> {
+    if evidence.baseline_makespan_secs <= 0.0 || evidence.makespan_secs <= 0.0 {
+        return None;
+    }
+    let mut best: Option<(f64, u32)> = None;
+    for (&node, &baseline_last) in &evidence.baseline_node_last_seen {
+        if baseline_last < SILENT_BASELINE_FRAC * evidence.baseline_makespan_secs {
+            continue;
+        }
+        let last = evidence.node_last_seen.get(&node).copied().unwrap_or(0.0);
+        let frac = last / evidence.makespan_secs;
+        if frac < SILENT_DEGRADED_FRAC
+            && best.is_none_or(|(f, n)| frac < f || (frac == f && node < n))
+        {
+            best = Some((frac, node));
+        }
+    }
+    best.map(|(_, node)| node)
+}
+
+/// Extracts every diagnostic signal from one case's evidence.
+#[must_use]
+pub fn extract(evidence: &Evidence) -> Features {
+    let diff = evidence.metrics.diff(&evidence.baseline_metrics);
+
+    let pairs: BTreeSet<(u32, u32)> = evidence
+        .aborted
+        .iter()
+        .filter(|f| f.src != f.dst)
+        .map(|f| (f.src.min(f.dst), f.src.max(f.dst)))
+        .collect();
+    let aborted_flows = effect_counter(&diff, &["netsim", "faults"], "flows_aborted")
+        .max(evidence.aborted.len() as u64);
+    let rerouted_flows = effect_counter(&diff, &["faults"], "rerouted_flows").max(effect_counter(
+        &diff,
+        &["netsim"],
+        "flows_rerouted",
+    ));
+
+    let crash_counters = CRASH_COUNTERS
+        .into_iter()
+        .map(|name| (name, diff.counter_increase("hadoop", name)))
+        .filter(|(_, v)| *v > 0)
+        .collect();
+
+    let mut shifts = BTreeMap::new();
+    for (component, degraded) in &evidence.fct {
+        let Some(baseline) = evidence.baseline_fct.get(component) else {
+            continue;
+        };
+        if (baseline.len() as u64) < MIN_SHIFT_SAMPLES
+            || (degraded.len() as u64) < MIN_SHIFT_SAMPLES
+        {
+            continue;
+        }
+        if let Ok(score) = shift_between(baseline, degraded) {
+            shifts.insert(component.clone(), score);
+        }
+    }
+
+    let makespan_ratio = if evidence.baseline_makespan_secs > 0.0 {
+        evidence.makespan_secs / evidence.baseline_makespan_secs
+    } else {
+        1.0
+    };
+
+    Features {
+        aborted_flows,
+        rerouted_flows,
+        lost_bytes: effect_counter(&diff, &["faults"], "lost_bytes"),
+        crash_counters,
+        abort_star: star_of(&pairs, &evidence.node_last_seen),
+        abort_cut: cut_of(&pairs),
+        silent_node: silent_node_of(evidence),
+        shifts,
+        makespan_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::AbortedFlow;
+
+    fn aborted(endpoints: &[(u32, u32)]) -> Vec<AbortedFlow> {
+        endpoints
+            .iter()
+            .map(|&(src, dst)| AbortedFlow {
+                src,
+                dst,
+                bytes: 1,
+                component: "shuffle".into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn star_finds_the_common_node() {
+        let ev = Evidence {
+            aborted: aborted(&[(3, 1), (3, 5), (2, 3)]),
+            ..Evidence::default()
+        };
+        let f = extract(&ev);
+        assert_eq!(f.abort_star, Some(3));
+        assert_eq!(f.aborted_flows, 3);
+    }
+
+    #[test]
+    fn star_tie_breaks_toward_the_quiet_endpoint() {
+        // Every abort shares the same pair (6, 0): both are candidates,
+        // but node 0 kept completing traffic while node 6 went dark —
+        // the dead host is 6.
+        let mut ev = Evidence {
+            aborted: aborted(&[(6, 0), (6, 0)]),
+            ..Evidence::default()
+        };
+        ev.node_last_seen.insert(0, 9.0);
+        ev.node_last_seen.insert(6, 2.0);
+        assert_eq!(extract(&ev).abort_star, Some(6));
+    }
+
+    #[test]
+    fn no_star_across_disjoint_pairs() {
+        let ev = Evidence {
+            aborted: aborted(&[(1, 2), (3, 4)]),
+            ..Evidence::default()
+        };
+        assert_eq!(extract(&ev).abort_star, None);
+    }
+
+    #[test]
+    fn cut_recovers_a_bipartition() {
+        // Cut {1, 2} vs {3, 4, 5}: every aborted flow crosses it.
+        let ev = Evidence {
+            aborted: aborted(&[(1, 3), (1, 4), (2, 3), (2, 5)]),
+            ..Evidence::default()
+        };
+        assert_eq!(extract(&ev).abort_cut, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn odd_cycle_is_not_a_cut() {
+        let ev = Evidence {
+            aborted: aborted(&[(1, 2), (2, 3), (3, 1)]),
+            ..Evidence::default()
+        };
+        assert_eq!(extract(&ev).abort_cut, None);
+    }
+
+    #[test]
+    fn crash_counters_use_increases_over_baseline() {
+        let mut ev = Evidence::default();
+        ev.baseline_metrics
+            .subsystems
+            .entry("hadoop".into())
+            .or_default()
+            .counters
+            .insert("failed_map_attempts".into(), 2);
+        let sub = ev.metrics.subsystems.entry("hadoop".into()).or_default();
+        sub.counters.insert("failed_map_attempts".into(), 5);
+        sub.counters.insert("node_crashes".into(), 1);
+        sub.counters.insert("speculative_attempts".into(), 9); // ignored
+        let f = extract(&ev);
+        assert_eq!(f.crash_counters.get("failed_map_attempts"), Some(&3));
+        assert_eq!(f.crash_counters.get("node_crashes"), Some(&1));
+        assert_eq!(f.crash_signal(), 4);
+    }
+
+    #[test]
+    fn silent_node_detected_against_baseline() {
+        let mut ev = Evidence {
+            makespan_secs: 20.0,
+            baseline_makespan_secs: 10.0,
+            ..Evidence::default()
+        };
+        for node in 0..4u32 {
+            ev.baseline_node_last_seen.insert(node, 9.5);
+            ev.node_last_seen
+                .insert(node, if node == 2 { 3.0 } else { 19.0 });
+        }
+        assert_eq!(extract(&ev).silent_node, Some(2));
+        assert!((extract(&ev).makespan_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifts_need_enough_samples_on_both_sides() {
+        let mut ev = Evidence::default();
+        ev.baseline_fct.insert("shuffle".into(), vec![1.0; 16]);
+        ev.fct.insert("shuffle".into(), vec![3.0; 16]);
+        ev.baseline_fct.insert("control".into(), vec![1.0; 4]);
+        ev.fct.insert("control".into(), vec![3.0; 4]);
+        let f = extract(&ev);
+        assert!(f.shifts.contains_key("shuffle"));
+        assert!(!f.shifts.contains_key("control"));
+        assert!(f.shifts["shuffle"].ks > 0.9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fault fingerprinting: from a degraded run's artefacts to its root
+//! cause.
+//!
+//! The rest of the toolchain *generates* labelled degraded runs
+//! (`keddah-faults`) and *records* them (`keddah-obs`); this crate
+//! closes the loop by reading those artefacts back and inferring which
+//! [`keddah_faults::FaultClass`] a run suffered — and, where the
+//! evidence allows, which node or cut. The pipeline:
+//!
+//! 1. [`Evidence`] — the observable inputs for one case: metrics
+//!    snapshots (degraded + baseline), per-component flow-completion
+//!    samples, per-node last-activity times, and the endpoints of
+//!    aborted flows;
+//! 2. [`fingerprint::Features`] — evidence distilled into discrete
+//!    signals (counter increases, abort-graph shape, silent nodes) and
+//!    continuous ones (per-component KS shifts via
+//!    [`keddah_stat::shift`]);
+//! 3. [`diagnose`] — deterministic scoring rules that rank every class
+//!    into a [`Diagnosis`] with stable tie-breaks.
+//!
+//! An honesty rule applies throughout: the classifier never reads the
+//! fault *injection* bookkeeping (`faults/faults_applied`, `fault_fire`
+//! trace events) — only effect signals a real cluster would expose
+//! (aborted/rerouted flow counts, Hadoop failure counters, timing
+//! shifts). The injection side is reserved for ground-truth labels in
+//! the corpus ([`corpus`]) and the eval harness ([`eval`]).
+//!
+//! Everything is deterministic: the same evidence yields byte-identical
+//! verdicts, and corpus build + eval are byte-identical across worker
+//! counts (pinned by `tests/diagnose_determinism.rs`).
+
+pub mod corpus;
+pub mod eval;
+pub mod evidence;
+pub mod fingerprint;
+pub mod verdict;
+
+pub use evidence::{AbortedFlow, Evidence};
+pub use verdict::{diagnose, Diagnosis, Verdict};
+
+use std::fmt;
+
+/// Errors produced while reading diagnosis inputs or building corpora.
+///
+/// Malformed input is a first-class outcome here — a diagnosis tool
+/// that panics on the truncated artefacts of the incident it should
+/// explain is useless — so every parse failure carries the offending
+/// path and becomes a structured error (and a `diagnose/parse_errors`
+/// count), never a panic.
+#[derive(Debug)]
+pub enum DiagnoseError {
+    /// A file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An input artefact failed to parse.
+    Parse {
+        /// The offending path (or a description of the input).
+        path: String,
+        /// The parser's message.
+        message: String,
+    },
+    /// The inputs were well-formed but unusable (e.g. no evidence at
+    /// all, or an empty corpus).
+    Invalid(String),
+}
+
+impl DiagnoseError {
+    pub(crate) fn io(path: impl Into<String>, source: std::io::Error) -> DiagnoseError {
+        DiagnoseError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn parse(path: impl Into<String>, message: impl Into<String>) -> DiagnoseError {
+        DiagnoseError::Parse {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DiagnoseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnoseError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            DiagnoseError::Parse { path, message } => {
+                write!(f, "cannot parse {path}: {message}")
+            }
+            DiagnoseError::Invalid(msg) => write!(f, "invalid diagnose input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiagnoseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiagnoseError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DiagnoseError>;

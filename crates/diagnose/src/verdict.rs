@@ -1,0 +1,373 @@
+//! Deterministic scoring: from a [`Features`] fingerprint to a ranked
+//! list of fault-class verdicts.
+//!
+//! The rules are a small decision ladder, not a learned model — each
+//! class has one dominant signature and a handful of partial-credit
+//! cases, so every score is explainable and the ranking is reproducible
+//! byte-for-byte. Scores are rounded to three decimals before ranking;
+//! ties break in canonical [`FaultClass`] order.
+
+use keddah_faults::FaultClass;
+use keddah_stat::shift::ShiftScore;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::{self, Features};
+use crate::Evidence;
+
+/// Minimum KS statistic for a per-component shift to count.
+///
+/// Deliberately low: corpus baselines are *paired* (same capture seed),
+/// so absent a fault the two replays are arithmetically identical and
+/// KS is exactly 0 — any reproducible effect is signal. A link fault
+/// only shifts the flows that cross the link, so the component-level KS
+/// of a real degradation can sit well below textbook thresholds.
+pub const MIN_KS: f64 = 0.1;
+
+/// Significance cap for the KS test behind a shift. `1.0` disables the
+/// p-value gate: with a paired baseline the question is effect size,
+/// not sampling noise (per-component sample counts are far too small
+/// for p-values to fire on localized shifts).
+pub const ALPHA: f64 = 1.0;
+
+/// Minimum degraded/baseline mean-FCT ratio for a shift to count as a
+/// *slowdown* (a shift toward faster flows is not a degradation).
+pub const TAU: f64 = 1.2;
+
+/// Fallback slowdown signal: a quiet run whose makespan stretched by
+/// at least this factor is degraded even when no single component's
+/// shift clears [`MIN_KS`].
+pub const MAKESPAN_TAU: f64 = 1.15;
+
+/// Score assigned to a class with no supporting evidence at all.
+const FLOOR: f64 = 0.05;
+
+/// One ranked hypothesis: a fault class, its confidence, and a
+/// human-readable justification (including localisation when known).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The hypothesised fault class.
+    pub class: FaultClass,
+    /// Confidence in `[0, 1]`, rounded to three decimals.
+    pub score: f64,
+    /// The evidence behind the score (`"node=3; node_crashes=1"`).
+    pub detail: String,
+}
+
+/// The full ranked output for one case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Workload the evidence came from (informational).
+    pub workload: String,
+    /// Every class, scored, best first.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl Diagnosis {
+    /// The winning hypothesis.
+    ///
+    /// # Panics
+    ///
+    /// Never: [`diagnose`] always scores all classes.
+    #[must_use]
+    pub fn top(&self) -> &Verdict {
+        &self.verdicts[0]
+    }
+
+    /// Renders the ranked verdicts as stable, line-oriented text (the
+    /// CLI output; CI greps it).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.workload.is_empty() {
+            out.push_str("diagnosis:\n");
+        } else {
+            out.push_str(&format!("diagnosis (workload={}):\n", self.workload));
+        }
+        for (rank, v) in self.verdicts.iter().enumerate() {
+            out.push_str(&format!(
+                "  {}. {:<13} score={:.3}",
+                rank + 1,
+                v.class.label(),
+                v.score
+            ));
+            if !v.detail.is_empty() {
+                out.push_str(&format!("  {}", v.detail));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::write_pretty(&self.to_value())
+    }
+
+    /// Parses a diagnosis written by [`Diagnosis::to_json`]; `origin`
+    /// names the input in errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DiagnoseError::Parse`] on malformed input.
+    pub fn from_json(input: &str, origin: &str) -> crate::Result<Diagnosis> {
+        let value = serde::json::parse(input)
+            .map_err(|e| crate::DiagnoseError::parse(origin, e.to_string()))?;
+        Diagnosis::from_value(&value)
+            .map_err(|e| crate::DiagnoseError::parse(origin, e.to_string()))
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// True when the shift is statistically significant *and* a slowdown.
+fn fires(score: &ShiftScore) -> bool {
+    score.significant(MIN_KS, ALPHA) && score.mean_ratio() >= TAU
+}
+
+/// The firing shift with the largest KS statistic (tie: first component
+/// in name order, which `BTreeMap` iteration already provides).
+fn strongest_shift(features: &Features) -> Option<(&str, &ShiftScore)> {
+    features
+        .shifts
+        .iter()
+        .filter(|(_, s)| fires(s))
+        .max_by(|(_, a), (_, b)| a.ks.total_cmp(&b.ks))
+        .map(|(name, score)| (name.as_str(), score))
+}
+
+fn crash_detail(features: &Features) -> String {
+    let counters = features
+        .crash_counters
+        .iter()
+        .map(|(name, v)| format!("{name}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let node = features.abort_star.or(features.silent_node);
+    match (node, counters.is_empty()) {
+        (Some(node), false) => format!("node={node}; {counters}"),
+        (Some(node), true) => format!("node={node}"),
+        (None, false) => counters,
+        (None, true) => String::new(),
+    }
+}
+
+fn cut_detail(features: &Features) -> String {
+    let aborted = format!("aborted_flows={}", features.aborted_flows);
+    match &features.abort_cut {
+        Some(cut) => {
+            let cut = cut
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("cut=[{cut}]; {aborted}")
+        }
+        None => aborted,
+    }
+}
+
+fn shift_detail(name: &str, score: &ShiftScore) -> String {
+    format!(
+        "component={name} ks={:.3} mean_x={:.2}",
+        score.ks,
+        score.mean_ratio()
+    )
+}
+
+/// Scores every fault class against the evidence and returns the
+/// ranked result. Pure and deterministic: identical evidence yields a
+/// byte-identical [`Diagnosis`].
+#[must_use]
+pub fn diagnose(evidence: &Evidence) -> Diagnosis {
+    let features = fingerprint::extract(evidence);
+    let crash = features.crash_signal() > 0;
+    let aborts = features.aborted_flows > 0;
+    let reroutes = features.rerouted_flows > 0;
+    let quiet = !crash && !aborts && !reroutes;
+    let shift = strongest_shift(&features);
+
+    let mut verdicts = Vec::with_capacity(FaultClass::ALL.len());
+    for class in FaultClass::ALL {
+        let (score, detail) = match class {
+            FaultClass::NodeCrash => {
+                if crash {
+                    (0.95, crash_detail(&features))
+                } else if aborts && features.abort_star.is_some() {
+                    (0.40, crash_detail(&features))
+                } else {
+                    (FLOOR, String::new())
+                }
+            }
+            FaultClass::LinkDown => {
+                if reroutes {
+                    let mut detail = format!("rerouted_flows={}", features.rerouted_flows);
+                    if features.lost_bytes > 0 {
+                        detail.push_str(&format!(" lost_bytes={}", features.lost_bytes));
+                    }
+                    (0.90, detail)
+                } else {
+                    (FLOOR, String::new())
+                }
+            }
+            FaultClass::Partition => {
+                if aborts && !crash && !reroutes {
+                    (0.85, cut_detail(&features))
+                } else if aborts {
+                    (0.30, cut_detail(&features))
+                } else {
+                    (FLOOR, String::new())
+                }
+            }
+            FaultClass::LinkDegraded => match shift {
+                Some((name, score)) if quiet => (0.80, shift_detail(name, score)),
+                Some((name, score)) => (0.20, shift_detail(name, score)),
+                None if quiet && features.makespan_ratio >= MAKESPAN_TAU => {
+                    (0.60, format!("makespan_x={:.2}", features.makespan_ratio))
+                }
+                None => (FLOOR, String::new()),
+            },
+            FaultClass::None => {
+                if quiet && shift.is_none() && features.makespan_ratio < MAKESPAN_TAU {
+                    (0.75, "no effect signals".to_string())
+                } else {
+                    (FLOOR, String::new())
+                }
+            }
+        };
+        verdicts.push(Verdict {
+            class,
+            score: round3(score),
+            detail,
+        });
+    }
+    // Rank: score descending, canonical class order on ties (derived
+    // Ord follows declaration order, `None` first).
+    verdicts.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.class.cmp(&b.class)));
+    Diagnosis {
+        workload: evidence.workload.clone(),
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::AbortedFlow;
+
+    fn hadoop_counter(ev: &mut Evidence, name: &str, value: u64) {
+        ev.metrics
+            .subsystems
+            .entry("hadoop".into())
+            .or_default()
+            .counters
+            .insert(name.into(), value);
+    }
+
+    fn netsim_counter(ev: &mut Evidence, name: &str, value: u64) {
+        ev.metrics
+            .subsystems
+            .entry("netsim".into())
+            .or_default()
+            .counters
+            .insert(name.into(), value);
+    }
+
+    #[test]
+    fn clean_run_diagnoses_none() {
+        let d = diagnose(&Evidence::default());
+        assert_eq!(d.top().class, FaultClass::None);
+        assert_eq!(d.verdicts.len(), FaultClass::ALL.len());
+    }
+
+    #[test]
+    fn crash_counters_win_even_with_aborts() {
+        let mut ev = Evidence::default();
+        hadoop_counter(&mut ev, "node_crashes", 1);
+        hadoop_counter(&mut ev, "failed_map_attempts", 2);
+        ev.aborted.push(AbortedFlow {
+            src: 3,
+            dst: 1,
+            bytes: 10,
+            component: "shuffle".into(),
+        });
+        ev.aborted.push(AbortedFlow {
+            src: 3,
+            dst: 5,
+            bytes: 10,
+            component: "shuffle".into(),
+        });
+        let d = diagnose(&ev);
+        assert_eq!(d.top().class, FaultClass::NodeCrash);
+        assert!(d.top().detail.contains("node=3"), "{}", d.top().detail);
+        assert!(d.top().detail.contains("node_crashes=1"));
+    }
+
+    #[test]
+    fn reroutes_mean_link_down() {
+        let mut ev = Evidence::default();
+        netsim_counter(&mut ev, "flows_rerouted", 4);
+        let d = diagnose(&ev);
+        assert_eq!(d.top().class, FaultClass::LinkDown);
+        assert!(d.top().detail.contains("rerouted_flows=4"));
+    }
+
+    #[test]
+    fn aborts_without_crash_or_reroute_mean_partition() {
+        let mut ev = Evidence::default();
+        netsim_counter(&mut ev, "flows_aborted", 6);
+        ev.aborted = vec![
+            AbortedFlow {
+                src: 1,
+                dst: 4,
+                bytes: 10,
+                component: "shuffle".into(),
+            },
+            AbortedFlow {
+                src: 2,
+                dst: 4,
+                bytes: 10,
+                component: "shuffle".into(),
+            },
+            AbortedFlow {
+                src: 2,
+                dst: 5,
+                bytes: 10,
+                component: "shuffle".into(),
+            },
+        ];
+        let d = diagnose(&ev);
+        assert_eq!(d.top().class, FaultClass::Partition);
+        assert!(d.top().detail.contains("cut=["), "{}", d.top().detail);
+    }
+
+    #[test]
+    fn quiet_slowdown_means_degraded_link() {
+        let mut ev = Evidence::default();
+        ev.baseline_fct.insert(
+            "shuffle".into(),
+            (0..64).map(|i| 0.1 + f64::from(i) * 0.01).collect(),
+        );
+        ev.fct.insert(
+            "shuffle".into(),
+            (0..64).map(|i| 0.5 + f64::from(i) * 0.01).collect(),
+        );
+        let d = diagnose(&ev);
+        assert_eq!(d.top().class, FaultClass::LinkDegraded);
+        assert!(d.top().detail.contains("component=shuffle"));
+    }
+
+    #[test]
+    fn ranking_is_stable_and_rendered() {
+        let d = diagnose(&Evidence::default());
+        let text = d.render();
+        assert!(text.starts_with("diagnosis"));
+        assert_eq!(text.lines().count(), 1 + FaultClass::ALL.len());
+        // Repeatability: same evidence, byte-identical output.
+        assert_eq!(text, diagnose(&Evidence::default()).render());
+        // JSON round-trips to an identical diagnosis.
+        assert_eq!(Diagnosis::from_json(&d.to_json(), "test").unwrap(), d);
+    }
+}

@@ -1,0 +1,41 @@
+//! End-to-end corpus sanity: one cell per fault class on one workload,
+//! built through the real capture → fault → replay pipeline, must
+//! diagnose to its own label. The full-sweep accuracy floor is pinned
+//! by the committed `EVAL_diagnose.json`; this test catches protocol
+//! breakage (not tuning drift) quickly.
+
+use keddah_diagnose::corpus::{build_cell, plan, CellSpec};
+use keddah_diagnose::diagnose;
+use keddah_faults::FaultClass;
+use keddah_hadoop::Workload;
+
+#[test]
+fn every_class_round_trips_on_terasort() {
+    for class in FaultClass::ALL {
+        let spec = CellSpec {
+            workload: Workload::TeraSort,
+            class,
+            seed: 0,
+        };
+        let cell = build_cell(&spec).unwrap_or_else(|e| panic!("build {}: {e}", spec.name()));
+        assert_eq!(cell.label.class, class);
+        let diagnosis = diagnose(&cell.evidence);
+        assert_eq!(
+            diagnosis.top().class,
+            class,
+            "cell {}:\n{}",
+            spec.name(),
+            diagnosis.render()
+        );
+    }
+}
+
+#[test]
+fn cell_build_is_deterministic() {
+    let spec = plan(&[Workload::WordCount], 1)[1]; // node_crash lane
+    assert_eq!(spec.class, FaultClass::NodeCrash);
+    let a = build_cell(&spec).unwrap();
+    let b = build_cell(&spec).unwrap();
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.evidence.to_json(), b.evidence.to_json());
+}

@@ -101,6 +101,76 @@ impl FaultKind {
             FaultKind::Partition { .. } => "partition",
         }
     }
+
+    /// The scenario class this fault belongs to. Recoveries classify
+    /// with the crash they undo — a crash-plus-recover schedule is one
+    /// `node_crash` scenario, not two.
+    #[must_use]
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::NodeCrash { .. } | FaultKind::NodeRecover { .. } => FaultClass::NodeCrash,
+            FaultKind::LinkDown { .. } => FaultClass::LinkDown,
+            FaultKind::LinkDegraded { .. } => FaultClass::LinkDegraded,
+            FaultKind::Partition { .. } => FaultClass::Partition,
+        }
+    }
+}
+
+/// The coarse scenario label a diagnosis predicts: which family of
+/// fault (if any) a degraded run suffered.
+///
+/// This is `FaultKind` with parameters erased, recoveries folded into
+/// crashes, and an explicit [`FaultClass::None`] for the healthy case.
+/// The derived `Ord` follows the declared order, which is the canonical
+/// tie-break order for ranked verdicts — keep it stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultClass {
+    /// No fault: the run was healthy.
+    None,
+    /// A host crashed (possibly recovering later).
+    NodeCrash,
+    /// A link failed permanently.
+    LinkDown,
+    /// A link ran below its base capacity.
+    LinkDegraded,
+    /// A reachability cut split the cluster.
+    Partition,
+}
+
+impl FaultClass {
+    /// Every class, in canonical (tie-break) order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::None,
+        FaultClass::NodeCrash,
+        FaultClass::LinkDown,
+        FaultClass::LinkDegraded,
+        FaultClass::Partition,
+    ];
+
+    /// Stable wire/CLI label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::None => "none",
+            FaultClass::NodeCrash => "node_crash",
+            FaultClass::LinkDown => "link_down",
+            FaultClass::LinkDegraded => "link_degraded",
+            FaultClass::Partition => "partition",
+        }
+    }
+
+    /// Parses a label produced by [`FaultClass::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// A fault pinned to a simulation timestamp (nanoseconds, matching
@@ -217,6 +287,28 @@ impl FaultSpec {
             }
         }
         Ok(())
+    }
+
+    /// The scenario class this spec represents: the class with the most
+    /// events (recoveries counting with their crash), ties broken by
+    /// canonical [`FaultClass`] order; [`FaultClass::None`] when empty.
+    ///
+    /// This is the ground-truth label the diagnose corpus attaches to a
+    /// generated cell.
+    #[must_use]
+    pub fn dominant_class(&self) -> FaultClass {
+        let mut counts = [0usize; FaultClass::ALL.len()];
+        for fault in &self.faults {
+            counts[fault.kind.class() as usize] += 1;
+        }
+        FaultClass::ALL
+            .into_iter()
+            .skip(1) // None never competes: any fault outranks it.
+            // max_by_key keeps the *last* max, so reverse the class in
+            // the key: ties go to the earliest class in canonical order.
+            .max_by_key(|c| (counts[*c as usize], std::cmp::Reverse(*c)))
+            .filter(|c| counts[*c as usize] > 0)
+            .unwrap_or(FaultClass::None)
     }
 
     /// Compiles the spec into a time-sorted [`FaultSchedule`]. Ties keep
@@ -559,6 +651,51 @@ mod tests {
                 assert!(node >= 1);
             }
         }
+    }
+
+    #[test]
+    fn classes_round_trip_and_order_canonically() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(FaultClass::from_label("gremlins"), None);
+        let mut sorted = FaultClass::ALL;
+        sorted.sort();
+        assert_eq!(sorted, FaultClass::ALL, "ALL is the canonical order");
+        // Recoveries classify with the crash they undo.
+        assert_eq!(
+            FaultKind::NodeRecover { node: 1 }.class(),
+            FaultClass::NodeCrash
+        );
+    }
+
+    #[test]
+    fn dominant_class_counts_and_breaks_ties_canonically() {
+        assert_eq!(FaultSpec::empty().dominant_class(), FaultClass::None);
+        let crash_with_recovery = FaultSpec {
+            faults: vec![
+                crash(5, 2),
+                TimedFault {
+                    at_nanos: 9,
+                    kind: FaultKind::NodeRecover { node: 2 },
+                },
+            ],
+        };
+        assert_eq!(crash_with_recovery.dominant_class(), FaultClass::NodeCrash);
+        // One of each: the tie goes to the earliest class in ALL.
+        let tie = FaultSpec {
+            faults: vec![
+                TimedFault {
+                    at_nanos: 3,
+                    kind: FaultKind::Partition { cut: vec![1] },
+                },
+                TimedFault {
+                    at_nanos: 1,
+                    kind: FaultKind::LinkDown { link: 0 },
+                },
+            ],
+        };
+        assert_eq!(tie.dominant_class(), FaultClass::LinkDown);
     }
 
     #[test]

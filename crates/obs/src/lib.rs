@@ -46,9 +46,11 @@
 //! assert!(off.metrics().is_empty());
 //! ```
 
+pub mod diff;
 pub mod metrics;
 pub mod trace;
 
+pub use diff::{MetricsDiff, SubsystemDiff, SummaryShift, ValueDelta};
 pub use metrics::{
     log2_bucket, Bucket, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, SubsystemMetrics,

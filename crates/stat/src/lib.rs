@@ -43,6 +43,7 @@ pub mod fit;
 pub mod ks;
 pub mod regression;
 pub mod series;
+pub mod shift;
 pub mod sketch;
 pub mod special;
 mod summary;

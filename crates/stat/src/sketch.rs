@@ -174,6 +174,16 @@ impl GkSketch {
         cum as f64 / self.n as f64
     }
 
+    /// The stored support values, ascending — the points at which the
+    /// sketch's step CDF jumps. Two-sample comparisons (see
+    /// [`crate::shift`]) evaluate both sketches' CDFs exactly at the
+    /// union of their supports, which is where any supremum over step
+    /// functions is attained.
+    #[must_use]
+    pub fn support(&self) -> Vec<f64> {
+        self.tuples.iter().map(|t| t.v).collect()
+    }
+
     /// A bounded, sorted pseudo-sample reconstructed from the quantile
     /// grid: `m` mid-rank quantiles, `m = min(n, cap)`. Feeding these
     /// to the offline fitters approximates the full-sample fit to

@@ -3,6 +3,7 @@
 mod args;
 mod capture;
 mod dag;
+mod diagnose;
 mod family;
 mod faults;
 mod fit;
@@ -65,6 +66,7 @@ COMMANDS:
     replay     replay generated or captured traffic on a topology
     serve      tail a capture directory, refit online, serve model over HTTP
     faults     generate and inspect fault schedules for degraded runs
+    diagnose   infer the fault behind a degraded run from its artefacts
     validate   compare generated traffic against capture traces
     stats      render metrics snapshots written by --metrics-out
     help       show this message
@@ -94,6 +96,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "replay" => replay::run(&Args::parse(rest)?),
         "serve" => serve::run(&Args::parse(rest)?),
         "faults" => faults::run(&Args::parse(rest)?),
+        "diagnose" => diagnose::run(&Args::parse(rest)?),
         "validate" => validate::run(&Args::parse(rest)?),
         "stats" => stats::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {

@@ -2,7 +2,7 @@
 
 use std::fs;
 
-use keddah_obs::MetricsSnapshot;
+use keddah_obs::{MetricsDiff, MetricsSnapshot};
 
 use super::{err, Args, Result};
 
@@ -15,10 +15,16 @@ merge before rendering — counters add, gauges keep the maximum,
 histogram summaries combine — so per-run artefacts can be folded
 into one view.
 
-USAGE:
-    keddah stats <METRICS.json> [MORE.json ...]";
+With --diff, exactly two files compare as baseline vs degraded:
+counters and gauges print their signed deltas, histograms print the
+shift of their moment summaries (mean ratio). Metrics present on only
+one side diff against zero rather than disappearing.
 
-const FLAGS: &[&str] = &[];
+USAGE:
+    keddah stats <METRICS.json> [MORE.json ...]
+    keddah stats --diff <BASELINE.json> <DEGRADED.json>";
+
+const FLAGS: &[&str] = &["diff"];
 
 /// Runs the subcommand.
 ///
@@ -33,6 +39,22 @@ pub fn run(args: &Args) -> Result<()> {
     }
     args.check_known(FLAGS)?;
     let files = args.positional();
+    if let Some(diff_value) = args.get("diff") {
+        // `--diff A B` parses as flag value A + positional B; a bare
+        // `--diff` after both paths leaves two positionals instead.
+        let (baseline, degraded) = match (diff_value, files) {
+            ("true", [b, d]) => (b.as_str(), d.as_str()),
+            (b, [d]) if b != "true" => (b, d.as_str()),
+            _ => {
+                return Err(err(
+                    "--diff needs exactly two files: baseline then degraded",
+                ))
+            }
+        };
+        let diff = load_snapshot(degraded)?.diff(&load_snapshot(baseline)?);
+        print!("{}", render_diff(&diff));
+        return Ok(());
+    }
     if files.is_empty() {
         return Err(err(
             "need at least one metrics file; run `keddah stats --help`",
@@ -47,6 +69,71 @@ pub fn run(args: &Args) -> Result<()> {
     }
     print!("{}", render(&merged));
     Ok(())
+}
+
+fn load_snapshot(path: &str) -> Result<MetricsSnapshot> {
+    let json = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    MetricsSnapshot::from_json(&json).map_err(|e| err(format!("cannot parse {path}: {e}")))
+}
+
+/// Renders a baseline-vs-degraded diff, changed metrics only; split
+/// from [`run`] so tests can assert on it.
+fn render_diff(diff: &MetricsDiff) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<24} {:>12} {:>12} {:>8}",
+        "subsystem", "metric", "baseline", "degraded", "delta"
+    );
+    if diff.is_unchanged() {
+        let _ = writeln!(out, "{:<10} {:<24} (no differences)", "-", "-");
+        return out;
+    }
+    for (subsystem, sub) in &diff.subsystems {
+        for (name, d) in &sub.counters {
+            if d.baseline != d.degraded {
+                let _ = writeln!(
+                    out,
+                    "{subsystem:<10} {name:<24} {:>12} {:>12} {:>+8}",
+                    d.baseline,
+                    d.degraded,
+                    d.delta()
+                );
+            }
+        }
+        for (name, d) in &sub.gauges {
+            if d.baseline != d.degraded {
+                let label = format!("{name} (gauge)");
+                let _ = writeln!(
+                    out,
+                    "{subsystem:<10} {label:<24} {:>12} {:>12} {:>+8}",
+                    d.baseline,
+                    d.degraded,
+                    d.delta()
+                );
+            }
+        }
+        for (name, shift) in &sub.histograms {
+            if shift.n_baseline == shift.n_degraded
+                && shift.mean_baseline == shift.mean_degraded
+                && shift.max_baseline == shift.max_degraded
+            {
+                continue;
+            }
+            let label = format!("{name} (hist)");
+            let _ = writeln!(
+                out,
+                "{subsystem:<10} {label:<24} n={}→{} mean={:.4}→{:.4} (x{:.2})",
+                shift.n_baseline,
+                shift.n_degraded,
+                shift.mean_baseline,
+                shift.mean_degraded,
+                shift.mean_ratio()
+            );
+        }
+    }
+    out
 }
 
 /// Renders the table; split from [`run`] so tests can assert on it.
@@ -132,5 +219,54 @@ mod tests {
     fn no_files_is_an_error() {
         let e = run(&Args::parse(&[]).unwrap()).unwrap_err();
         assert!(e.to_string().contains("at least one metrics file"));
+    }
+
+    fn sample(counter: u64, gauge: u64, hist: &[f64]) -> MetricsSnapshot {
+        let obs = Obs::enabled();
+        obs.add("netsim", "flows_aborted", counter);
+        obs.gauge("netsim", "peak_active").set(gauge);
+        for &x in hist {
+            obs.histogram("netsim", "fct_us").observe(x);
+        }
+        obs.metrics()
+    }
+
+    #[test]
+    fn diff_renders_changed_metrics_with_signed_deltas() {
+        let diff = sample(7, 2, &[30.0, 60.0]).diff(&sample(2, 5, &[10.0, 20.0]));
+        let table = render_diff(&diff);
+        let aborted = table.lines().find(|l| l.contains("flows_aborted")).unwrap();
+        assert!(aborted.contains("+5"), "{table}");
+        let gauge = table.lines().find(|l| l.contains("peak_active")).unwrap();
+        assert!(gauge.contains("-3"), "{table}");
+        let hist = table.lines().find(|l| l.contains("fct_us")).unwrap();
+        assert!(hist.contains("(x3.00)"), "{table}");
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_says_so() {
+        let snap = sample(3, 1, &[5.0]);
+        let table = render_diff(&snap.diff(&snap.clone()));
+        assert!(table.contains("(no differences)"), "{table}");
+        assert_eq!(table.lines().count(), 2, "{table}");
+    }
+
+    #[test]
+    fn diff_flag_requires_two_files() {
+        let args = Args::parse(&["--diff".into(), "only.json".into()]).unwrap();
+        let e = run(&args).unwrap_err();
+        assert!(e.to_string().contains("exactly two files"), "{e}");
+    }
+
+    #[test]
+    fn diff_against_missing_file_is_a_clean_error() {
+        let args = Args::parse(&[
+            "--diff".into(),
+            "/nonexistent/a.json".into(),
+            "/nonexistent/b.json".into(),
+        ])
+        .unwrap();
+        let e = run(&args).unwrap_err();
+        assert!(e.to_string().contains("cannot read"), "{e}");
     }
 }

@@ -16,6 +16,7 @@
 //! | [`netsim`] | `keddah-netsim` | Flow-level network simulator with DC topologies |
 //! | [`faults`] | `keddah-faults` | Deterministic fault schedules for degraded-mode runs |
 //! | [`obs`] | `keddah-obs` | Event tracing + metrics registry, zero-cost when disabled |
+//! | [`diagnose`] | `keddah-diagnose` | Fault fingerprinting: degraded-run artefacts → root cause |
 //! | [`core`] | `keddah-core` | The Keddah pipeline: capture → model → generate → replay |
 //!
 //! # Quickstart
@@ -46,6 +47,7 @@ pub mod cli;
 
 pub use keddah_core as core;
 pub use keddah_des as des;
+pub use keddah_diagnose as diagnose;
 pub use keddah_faults as faults;
 pub use keddah_flowcap as flowcap;
 pub use keddah_hadoop as hadoop;

@@ -805,3 +805,128 @@ fn mix_generates_and_replays() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn diagnose_blames_a_node_crash_from_capture_traces() {
+    let dir = tmp_dir("diagnose");
+    let spec = dir.join("crash.json");
+    run(&[
+        "faults",
+        "gen",
+        "--hosts",
+        "7",
+        "--node-crashes",
+        "1",
+        // The capture job runs ~12 s; a 10 s horizon keeps the crash
+        // inside it.
+        "--secs",
+        "10",
+        "--seed",
+        "3",
+        "--out",
+        spec.to_str().unwrap(),
+    ])
+    .expect("faults gen succeeds");
+
+    // Paired captures: same seed, with and without the crash schedule.
+    let capture = |out: &std::path::Path, faults: Option<&std::path::Path>| {
+        let mut argv = vec![
+            "capture".to_string(),
+            "--workload".to_string(),
+            "terasort".to_string(),
+            "--input-gb".to_string(),
+            "0.25".to_string(),
+            "--racks".to_string(),
+            "2".to_string(),
+            "--nodes-per-rack".to_string(),
+            "3".to_string(),
+            "--reducers".to_string(),
+            "4".to_string(),
+            "--repeats".to_string(),
+            "1".to_string(),
+            "--seed".to_string(),
+            "11".to_string(),
+            "--out".to_string(),
+            out.to_str().unwrap().to_string(),
+        ];
+        if let Some(spec) = faults {
+            argv.push("--faults".to_string());
+            argv.push(spec.to_str().unwrap().to_string());
+        }
+        keddah::cli::run(&argv).expect("capture succeeds");
+        std::fs::read_dir(out)
+            .expect("capture dir")
+            .map(|e| e.expect("entry").path())
+            .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .expect("trace written")
+    };
+    let baseline = capture(&dir.join("baseline"), None);
+    let degraded = capture(&dir.join("degraded"), Some(&spec));
+
+    let out = dir.join("diagnosis.json");
+    let metrics = dir.join("metrics.json");
+    run(&[
+        "diagnose",
+        "--trace",
+        degraded.to_str().unwrap(),
+        "--baseline-trace",
+        baseline.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ])
+    .expect("diagnose succeeds");
+
+    let diagnosis = keddah::diagnose::Diagnosis::from_json(
+        &std::fs::read_to_string(&out).expect("diagnosis written"),
+        "diagnosis.json",
+    )
+    .expect("diagnosis parses");
+    assert_eq!(
+        diagnosis.top().class,
+        keddah::faults::FaultClass::NodeCrash,
+        "{}",
+        diagnosis.render()
+    );
+    assert_eq!(diagnosis.workload, "terasort");
+    // The run's own metrics recorded a clean classification.
+    let snap = keddah::obs::MetricsSnapshot::from_json(
+        &std::fs::read_to_string(&metrics).expect("metrics written"),
+    )
+    .expect("metrics parse");
+    assert_eq!(snap.counter("diagnose", "cases_classified"), 1);
+    assert_eq!(snap.counter("diagnose", "parse_errors"), 0);
+
+    // Error paths.
+    assert!(run(&["diagnose"])
+        .unwrap_err()
+        .contains("nothing to diagnose"));
+    assert!(run(&["diagnose", "eval"]).unwrap_err().contains("--corpus"));
+    assert!(run(&["diagnose", "--trace", "/nonexistent/t.jsonl"])
+        .unwrap_err()
+        .contains("cannot open"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_diff_prints_counter_deltas() {
+    let dir = tmp_dir("stats-diff");
+    let write = |name: &str, aborted: u64| {
+        let obs = keddah::obs::Obs::enabled();
+        obs.add("netsim", "flows_aborted", aborted);
+        let path = dir.join(name);
+        std::fs::write(&path, obs.metrics().to_json()).expect("snapshot written");
+        path
+    };
+    let baseline = write("baseline.json", 0);
+    let degraded = write("degraded.json", 6);
+    run(&[
+        "stats",
+        "--diff",
+        baseline.to_str().unwrap(),
+        degraded.to_str().unwrap(),
+    ])
+    .expect("stats --diff succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+}

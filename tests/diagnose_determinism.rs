@@ -1,0 +1,95 @@
+//! Determinism guarantees of `keddah diagnose`: corpus artefact bytes,
+//! eval reports, and verdict text must not depend on worker width or
+//! repetition — CI pins the eval floor against committed artefacts, so
+//! any nondeterminism would show up as spurious gate trips.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use keddah::diagnose::corpus;
+use keddah::diagnose::eval::evaluate;
+use keddah::diagnose::{diagnose, Evidence};
+use keddah::hadoop::Workload;
+
+/// A slice of the paper sweep: enough cells (10) that parallel workers
+/// genuinely interleave, small enough to keep the suite fast.
+const WORKLOADS: &[Workload] = &[Workload::TeraSort, Workload::WordCount];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("keddah-diag-det-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every file under `dir`, keyed by path relative to it.
+fn file_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).expect("readable file"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+fn assert_same_tree(a: &Path, b: &Path) {
+    let (fa, fb) = (file_bytes(a), file_bytes(b));
+    let (names_a, names_b): (Vec<_>, Vec<_>) = (fa.keys().collect(), fb.keys().collect());
+    assert_eq!(names_a, names_b, "file sets differ");
+    for (name, bytes) in &fa {
+        assert_eq!(bytes, &fb[name], "bytes differ for {name}");
+    }
+}
+
+#[test]
+fn corpus_bytes_are_identical_across_worker_widths_and_repeats() {
+    let serial = tmp_dir("jobs1");
+    let wide = tmp_dir("jobs8");
+    let again = tmp_dir("jobs8-again");
+    corpus::build(&serial, WORKLOADS, 1, 1).expect("serial build");
+    corpus::build(&wide, WORKLOADS, 1, 8).expect("wide build");
+    corpus::build(&again, WORKLOADS, 1, 8).expect("repeat build");
+    assert_same_tree(&serial, &wide);
+    assert_same_tree(&wide, &again);
+    for dir in [serial, wide, again] {
+        fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn eval_report_and_verdicts_are_reproducible() {
+    let dir = tmp_dir("eval");
+    corpus::build(&dir, WORKLOADS, 1, 4).expect("build");
+    let first = evaluate(&dir).expect("eval").to_json();
+    let second = evaluate(&dir).expect("eval again").to_json();
+    assert_eq!(first, second, "eval report must be byte-stable");
+    // Per-cell verdict text is equally stable.
+    let evidence = Evidence::load(&dir.join("terasort_partition_0/evidence.json")).unwrap();
+    assert_eq!(diagnose(&evidence).render(), diagnose(&evidence).render());
+    assert_eq!(diagnose(&evidence).to_json(), diagnose(&evidence).to_json());
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn eval_counts_corrupt_cells_instead_of_dying() {
+    let dir = tmp_dir("corrupt");
+    corpus::build(&dir, &[Workload::TeraSort], 1, 2).expect("build");
+    let victim = dir.join("terasort_none_0/evidence.json");
+    fs::write(&victim, "{ truncated mid-incident").expect("corrupt the cell");
+    let report = evaluate(&dir).expect("eval survives corrupt cells");
+    assert_eq!(report.parse_errors, 1, "{}", report.to_json());
+    assert_eq!(report.cells, 5);
+    fs::remove_dir_all(dir).ok();
+}

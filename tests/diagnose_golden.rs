@@ -1,0 +1,57 @@
+//! Golden-corpus regression: the committed fixture cells under
+//! `tests/fixtures/diagnose/` must keep diagnosing to their labels,
+//! and their rendered verdicts must stay byte-identical to the pinned
+//! `verdicts.txt`. A diff here means the classifier's behaviour
+//! changed — re-pin deliberately or fix the regression.
+
+use std::fs;
+use std::path::PathBuf;
+
+use keddah::diagnose::corpus::Manifest;
+use keddah::diagnose::eval::{evaluate, load_label};
+use keddah::diagnose::{diagnose, Evidence};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/diagnose")
+}
+
+#[test]
+fn every_golden_cell_diagnoses_to_its_label() {
+    let dir = fixture_dir();
+    let manifest = Manifest::load(&dir).expect("fixture manifest");
+    assert_eq!(manifest.cells.len(), 5, "one cell per fault class");
+    for cell in &manifest.cells {
+        let label = load_label(&dir.join(cell).join("label.json")).expect("label");
+        let evidence = Evidence::load(&dir.join(cell).join("evidence.json")).expect("evidence");
+        let diagnosis = diagnose(&evidence);
+        assert_eq!(
+            diagnosis.top().class,
+            label.class,
+            "cell {cell}:\n{}",
+            diagnosis.render()
+        );
+    }
+}
+
+#[test]
+fn golden_verdict_text_is_pinned_byte_for_byte() {
+    let dir = fixture_dir();
+    let manifest = Manifest::load(&dir).expect("fixture manifest");
+    let mut rendered = String::new();
+    for cell in &manifest.cells {
+        let evidence = Evidence::load(&dir.join(cell).join("evidence.json")).expect("evidence");
+        rendered.push_str(&format!("== {cell}\n"));
+        rendered.push_str(&diagnose(&evidence).render());
+    }
+    let pinned = fs::read_to_string(dir.join("verdicts.txt")).expect("pinned verdicts");
+    assert_eq!(rendered, pinned, "verdicts drifted from the pinned text");
+}
+
+#[test]
+fn golden_corpus_evaluates_perfectly() {
+    let report = evaluate(&fixture_dir()).expect("eval on fixture corpus");
+    assert_eq!(report.parse_errors, 0);
+    assert_eq!(report.accuracy, 1.0, "{}", report.to_json());
+    assert_eq!(report.macro_precision, 1.0);
+    assert_eq!(report.macro_recall, 1.0);
+}
