@@ -53,6 +53,7 @@ pub mod generate;
 pub mod mix;
 pub mod model;
 pub mod pipeline;
+pub mod provision;
 pub mod replay;
 pub mod runner;
 pub mod source;
@@ -66,7 +67,10 @@ pub use keddah_faults::{FaultGen, FaultKind, FaultSpec, TimedFault};
 pub use mix::{JobMix, MixEntry};
 pub use model::KeddahModel;
 pub use pipeline::Keddah;
-pub use runner::{CellResult, MatrixCell, RunSummary, Runner};
+pub use provision::{
+    provision, ConfigSpace, MixJob, ProvisionReport, ProvisionRequest, Slo, Surrogate,
+};
+pub use runner::{CellResult, MatrixCell, RunSummary, Runner, SweepBudget};
 pub use source::{ModelSource, TraceSource};
 pub use stream::{SketchMode, StreamEngine, StreamOptions};
 pub use validate::ValidationReport;
@@ -99,6 +103,9 @@ pub enum CoreError {
     /// Streaming ingestion rejected input (e.g. a rotated capture file
     /// whose workload differs from the stream's).
     Stream(String),
+    /// A provisioning search request or artefact was unusable, or the
+    /// committed-artefact gate failed.
+    Provision(String),
 }
 
 impl fmt::Display for CoreError {
@@ -113,6 +120,7 @@ impl fmt::Display for CoreError {
             CoreError::Json(msg) => write!(f, "model serialization error: {msg}"),
             CoreError::Fault(msg) => write!(f, "fault schedule error: {msg}"),
             CoreError::Stream(msg) => write!(f, "stream ingestion error: {msg}"),
+            CoreError::Provision(msg) => write!(f, "provisioning error: {msg}"),
         }
     }
 }

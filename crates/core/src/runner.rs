@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
 
-use keddah_flowcap::Component;
+use keddah_flowcap::{Component, FlowRecord};
 use keddah_hadoop::{run_repeats_seeded, ClusterSpec, HadoopConfig, JobRun, JobSpec, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -57,10 +57,17 @@ pub struct MatrixCell {
     /// Number of repeated captures (the paper repeats each configuration
     /// to gather enough flows per component).
     pub repeats: u32,
+    /// Cluster override: when set, the cell runs on this cluster instead
+    /// of the runner's own. The provisioning search sweeps cluster shape
+    /// alongside Hadoop knobs, so the cluster is part of the cell's
+    /// identity — it participates in the memo key and seed derivation
+    /// exactly like the config. `None` (the legacy shape) preserves
+    /// existing seeds and cache keys bit-for-bit.
+    pub cluster: Option<ClusterSpec>,
 }
 
 impl MatrixCell {
-    /// Builds a cell.
+    /// Builds a cell on the runner's default cluster.
     #[must_use]
     pub fn new(workload: Workload, input_bytes: u64, config: HadoopConfig, repeats: u32) -> Self {
         MatrixCell {
@@ -68,7 +75,15 @@ impl MatrixCell {
             input_bytes,
             config,
             repeats,
+            cluster: None,
         }
+    }
+
+    /// Pins the cell to its own cluster (builder style).
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
     }
 
     /// The cell's configuration hash: FNV-1a over the canonical JSON
@@ -81,16 +96,36 @@ impl MatrixCell {
         fnv1a(json.as_bytes())
     }
 
+    /// The cell's cluster-override hash: zero when the cell runs on the
+    /// runner's cluster, FNV-1a over the override's canonical JSON
+    /// otherwise. Folded into both the memo key and seed derivation so
+    /// two cells differing only in cluster shape never share a cached
+    /// result or a seed stream.
+    #[must_use]
+    pub fn cluster_hash(&self) -> u64 {
+        self.cluster.as_ref().map_or(0, |c| {
+            let json = serde_json::to_string(c).expect("cluster serializes");
+            fnv1a(json.as_bytes())
+        })
+    }
+
     /// The derived seed for repeat `repeat` of this cell.
     ///
-    /// Splitmix64 over `(workload, input_bytes, config_hash, repeat)`:
-    /// every identity component is folded into the generator state before
-    /// one final output draw. Two cells differing in any component get
-    /// unrelated seeds, and the seeds never depend on where the cell sits
-    /// in the matrix or which thread picks it up.
+    /// Splitmix64 over `(workload, input_bytes, config_hash ^
+    /// cluster_hash, repeat)`: every identity component is folded into
+    /// the generator state before one final output draw. Two cells
+    /// differing in any component get unrelated seeds, and the seeds
+    /// never depend on where the cell sits in the matrix or which thread
+    /// picks it up. Cells without a cluster override keep their
+    /// historical seeds (`cluster_hash` is zero).
     #[must_use]
     pub fn seed_for(&self, repeat: u32) -> u64 {
-        derive_seed(self.workload, self.input_bytes, self.config_hash(), repeat)
+        derive_seed(
+            self.workload,
+            self.input_bytes,
+            self.config_hash() ^ self.cluster_hash(),
+            repeat,
+        )
     }
 
     /// The full seed stream for the cell, one seed per repeat.
@@ -99,11 +134,17 @@ impl MatrixCell {
         (0..self.repeats).map(|r| self.seed_for(r)).collect()
     }
 
-    fn key(&self) -> CellKey {
+    /// The memo key the runner caches results under. Every field that
+    /// changes simulated behaviour is represented: workload, input
+    /// size, configuration hash, cluster hash and repeat count —
+    /// a collision here would silently serve one cell another's runs.
+    #[must_use]
+    pub fn key(&self) -> CellKey {
         (
             self.workload,
             self.input_bytes,
             self.config_hash(),
+            self.cluster_hash(),
             self.repeats,
         )
     }
@@ -163,6 +204,11 @@ pub struct RunSummary {
     pub flows: u64,
     /// Total wire bytes in the capture.
     pub bytes: u64,
+    /// Wire bytes of flows that traverse the switching core: endpoints
+    /// in different racks, or either endpoint the master (which sits
+    /// outside the worker racks). The provisioning search divides this
+    /// by core capacity to estimate inter-rack utilisation.
+    pub cross_rack_bytes: u64,
     /// HDFS read traffic (non-local map input fetches).
     pub hdfs_read: ComponentTotals,
     /// Shuffle traffic (map → reduce partition fetches).
@@ -182,7 +228,7 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    fn from_run(run: &JobRun, seed: u64) -> RunSummary {
+    fn from_run(run: &JobRun, seed: u64, cluster: &ClusterSpec) -> RunSummary {
         let totals = |c: Component| {
             let mut t = ComponentTotals::default();
             for f in run.trace.component_flows(c) {
@@ -191,11 +237,19 @@ impl RunSummary {
             }
             t
         };
+        let cross_rack_bytes = run
+            .trace
+            .flows()
+            .iter()
+            .filter(|f| cluster.crosses_racks(f.tuple.src, f.tuple.dst))
+            .map(FlowRecord::total_bytes)
+            .sum();
         RunSummary {
             seed,
             duration_secs: run.duration.as_secs_f64(),
             flows: run.trace.len() as u64,
             bytes: run.trace.total_bytes(),
+            cross_rack_bytes,
             hdfs_read: totals(Component::HdfsRead),
             shuffle: totals(Component::Shuffle),
             hdfs_write: totals(Component::HdfsWrite),
@@ -314,7 +368,77 @@ impl CellResult {
     }
 }
 
-type CellKey = (Workload, u64, u64, u32);
+/// Memo-cache identity of a [`MatrixCell`]: `(workload, input_bytes,
+/// config_hash, cluster_hash, repeats)`.
+pub type CellKey = (Workload, u64, u64, u64, u32);
+
+/// Budget knobs for [`Runner::run_budgeted`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepBudget {
+    /// Maximum number of cell executions across the whole sweep. An
+    /// execution at any fidelity counts once; a round is trimmed (in
+    /// rank order) rather than started beyond this ceiling.
+    pub max_cell_runs: usize,
+    /// Repeats per cell in the first (probe) round. Doubles every round
+    /// until reaching each cell's own `repeats`.
+    pub probe_repeats: u32,
+    /// Fraction of scored groups kept after each probe round, in
+    /// `(0, 1]` (classic successive halving at `0.5`).
+    pub keep_fraction: f64,
+}
+
+impl Default for SweepBudget {
+    fn default() -> Self {
+        SweepBudget {
+            max_cell_runs: usize::MAX,
+            probe_repeats: 1,
+            keep_fraction: 0.5,
+        }
+    }
+}
+
+/// Per-group outcome of a budgeted sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedGroup {
+    /// Results for the group's cells at the highest fidelity reached,
+    /// in the group's cell order. Empty if the budget ran out before
+    /// the group's first probe.
+    pub results: Vec<CellResult>,
+    /// Repeats ceiling of the last round the group ran in (each cell
+    /// ran `min(cell.repeats, fidelity)` repeats); zero if it never ran.
+    pub fidelity: u32,
+    /// True when every cell of the group ran at its full `repeats` —
+    /// the group survived elimination to the final round, so its
+    /// results are exactly what an unbudgeted sweep would produce.
+    pub full_fidelity: bool,
+    /// One-based round in which the group was eliminated by score;
+    /// `None` for survivors and for groups dropped by the cell budget.
+    pub eliminated_round: Option<usize>,
+}
+
+/// The outcome of [`Runner::run_budgeted`]: per-group results plus the
+/// cost actually paid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedSweep {
+    /// One entry per input group, in input order.
+    pub groups: Vec<BudgetedGroup>,
+    /// Cell executions paid (`<= budget.max_cell_runs`). Strictly less
+    /// than `groups * cells` whenever elimination or the budget bit.
+    pub cell_runs: usize,
+    /// Probe rounds executed.
+    pub rounds: usize,
+}
+
+impl BudgetedSweep {
+    /// Indices of groups whose results are at full fidelity, in input
+    /// order — the only groups an honest ranking may compare.
+    #[must_use]
+    pub fn full_fidelity_groups(&self) -> Vec<usize> {
+        (0..self.groups.len())
+            .filter(|&i| self.groups[i].full_fidelity)
+            .collect()
+    }
+}
 
 /// The experiment engine: runs matrix cells across worker threads with
 /// derived seeds and a per-cell result cache.
@@ -444,7 +568,8 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Panics if the cell's config fails validation.
+    /// Panics if the cell's config (or cluster override) fails
+    /// validation.
     #[must_use]
     pub fn run_cell(&self, cell: &MatrixCell) -> CellResult {
         let key = cell.key();
@@ -453,13 +578,15 @@ impl Runner {
             return cached.clone();
         }
 
+        let cluster = cell.cluster.as_ref().unwrap_or(&self.cluster);
+        cluster.validate().expect("invalid cell cluster override");
         let seeds = cell.seeds();
         let job = JobSpec::new(cell.workload, cell.input_bytes);
-        let runs = run_repeats_seeded(&self.cluster, &cell.config, &job, &seeds);
+        let runs = run_repeats_seeded(cluster, &cell.config, &job, &seeds);
         let summaries: Vec<RunSummary> = runs
             .iter()
             .zip(&seeds)
-            .map(|(run, &seed)| RunSummary::from_run(run, seed))
+            .map(|(run, &seed)| RunSummary::from_run(run, seed, cluster))
             .collect();
         let traces: Vec<keddah_flowcap::Trace> = runs.into_iter().map(|r| r.trace).collect();
         let model = fit_model(&Dataset::from_traces(&traces)).ok();
@@ -477,6 +604,138 @@ impl Runner {
             .expect("cache lock")
             .insert(key, result.clone());
         result
+    }
+
+    /// Runs a successive-halving sweep over `groups` of cells under a
+    /// cell-execution budget, eliminating dominated groups at cheap
+    /// fidelity before paying for full-fidelity runs.
+    ///
+    /// Each *group* is the unit of elimination (the provisioning search
+    /// groups one candidate configuration's cells across the workload
+    /// mix; a plain cell sweep uses singleton groups). Rounds run every
+    /// surviving group at `min(cell.repeats, round_repeats)` repeats,
+    /// starting from `budget.probe_repeats` and doubling; after each
+    /// probe round, `score` folds a group's results — it receives the
+    /// group's input index so group-specific context (e.g. a candidate's
+    /// hardware cost) can weigh in — into a figure of merit (lower is
+    /// better) and only the best `keep_fraction` of groups advance. The final round runs survivors at their cells'
+    /// full `repeats`, and those results are bit-identical to an
+    /// unbudgeted [`Runner::run_matrix`] over the same cells.
+    ///
+    /// **Determinism.** Results are byte-identical for any
+    /// `parallelism`: cells keep identity-derived seeds, and every
+    /// elimination decision folds scores in canonical group order
+    /// (ties broken by input index), never in completion order. The
+    /// cell budget trims a round by the same ranking before launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget.keep_fraction` is outside `(0, 1]`,
+    /// `budget.probe_repeats` is zero, or a cell's config/cluster
+    /// fails validation.
+    #[must_use]
+    pub fn run_budgeted<F>(
+        &self,
+        groups: &[Vec<MatrixCell>],
+        score: F,
+        budget: &SweepBudget,
+        parallelism: usize,
+    ) -> BudgetedSweep
+    where
+        F: Fn(usize, &[CellResult]) -> f64,
+    {
+        assert!(
+            budget.keep_fraction > 0.0 && budget.keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        assert!(budget.probe_repeats >= 1, "probe_repeats must be >= 1");
+        let mut out: Vec<BudgetedGroup> = groups
+            .iter()
+            .map(|g| BudgetedGroup {
+                results: Vec::new(),
+                fidelity: 0,
+                // An empty group has nothing left to simulate.
+                full_fidelity: g.is_empty(),
+                eliminated_round: None,
+            })
+            .collect();
+        // Survivors in canonical (input) order throughout.
+        let mut survivors: Vec<usize> = (0..groups.len())
+            .filter(|&i| !groups[i].is_empty())
+            .collect();
+        let mut cell_runs = 0usize;
+        let mut rounds = 0usize;
+        let mut round_repeats = budget.probe_repeats;
+        while !survivors.is_empty() {
+            // Trim the round to the remaining cell budget: survivors are
+            // already ranked (canonical order in round one, score order
+            // after), so take the affordable prefix.
+            let mut to_run: Vec<usize> = Vec::new();
+            let mut round_cost = 0usize;
+            for &g in &survivors {
+                let cost = groups[g].len();
+                if cell_runs + round_cost + cost > budget.max_cell_runs {
+                    break;
+                }
+                round_cost += cost;
+                to_run.push(g);
+            }
+            if to_run.is_empty() {
+                break;
+            }
+            to_run.sort_unstable();
+            rounds += 1;
+
+            // One flat matrix for the whole round, in canonical order.
+            let cells: Vec<MatrixCell> = to_run
+                .iter()
+                .flat_map(|&g| {
+                    groups[g].iter().map(|cell| {
+                        let mut probe = cell.clone();
+                        probe.repeats = cell.repeats.min(round_repeats);
+                        probe
+                    })
+                })
+                .collect();
+            let results = self.run_matrix(&cells, parallelism);
+            cell_runs += cells.len();
+
+            // Scatter results back to their groups.
+            let mut cursor = 0usize;
+            let mut final_round = true;
+            for &g in &to_run {
+                let n = groups[g].len();
+                out[g].results = results[cursor..cursor + n].to_vec();
+                out[g].fidelity = round_repeats;
+                out[g].full_fidelity = groups[g].iter().all(|c| c.repeats <= round_repeats);
+                final_round &= out[g].full_fidelity;
+                cursor += n;
+            }
+            if final_round {
+                break;
+            }
+
+            // Score in canonical order, keep the best fraction (ties
+            // break toward the earlier group), and carry the ranking
+            // into the next round's budget trim.
+            let mut ranked: Vec<(usize, f64)> = to_run
+                .iter()
+                .map(|&g| (g, score(g, &out[g].results)))
+                .collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let keep = ((ranked.len() as f64 * budget.keep_fraction).ceil() as usize)
+                .clamp(1, ranked.len());
+            for &(g, _) in &ranked[keep..] {
+                out[g].eliminated_round = Some(rounds);
+            }
+            survivors = ranked[..keep].iter().map(|&(g, _)| g).collect();
+            round_repeats = round_repeats.saturating_mul(2);
+        }
+        BudgetedSweep {
+            groups: out,
+            cell_runs,
+            rounds,
+        }
     }
 }
 
@@ -508,11 +767,37 @@ mod tests {
             config: base.config.clone().with_reducers(8),
             ..base.clone()
         };
+        let other_cluster = base.clone().with_cluster(ClusterSpec::racks(4, 4));
         let s = base.seed_for(0);
         assert_ne!(s, other_workload.seed_for(0));
         assert_ne!(s, other_size.seed_for(0));
         assert_ne!(s, other_config.seed_for(0));
+        assert_ne!(s, other_cluster.seed_for(0));
         assert_ne!(s, base.seed_for(1));
+    }
+
+    #[test]
+    fn cluster_override_is_part_of_cell_identity() {
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let base = small_cell(Workload::TeraSort);
+        let narrow = base.clone().with_cluster(ClusterSpec::racks(1, 4));
+        let wide = base.clone().with_cluster(ClusterSpec::racks(4, 1));
+        assert_eq!(base.cluster_hash(), 0, "legacy cells keep zero hash");
+        assert_ne!(narrow.cluster_hash(), wide.cluster_hash());
+        let r_narrow = runner.run_cell(&narrow);
+        let r_wide = runner.run_cell(&wide);
+        assert_eq!(
+            runner.cache_hits(),
+            0,
+            "different clusters never share a memo entry"
+        );
+        // One rack cannot cross racks; four racks of one node must.
+        assert!(r_narrow.runs.iter().all(|r| {
+            // Master flows still count as crossing (management network).
+            r.cross_rack_bytes <= r.bytes
+        }));
+        assert!(r_wide.runs.iter().any(|r| r.cross_rack_bytes > 0));
+        assert_ne!(r_narrow, r_wide);
     }
 
     #[test]
@@ -554,6 +839,10 @@ mod tests {
                 run.hdfs_read.bytes + run.shuffle.bytes + run.hdfs_write.bytes + run.control.bytes,
                 "components partition the wire bytes"
             );
+            assert!(
+                run.cross_rack_bytes > 0 && run.cross_rack_bytes <= run.bytes,
+                "two racks force some shuffle across the core"
+            );
         }
         let model = result.model.expect("enough traffic to fit");
         assert_eq!(model.workload, "terasort");
@@ -587,5 +876,125 @@ mod tests {
     fn empty_matrix_is_fine() {
         let runner = Runner::new(ClusterSpec::racks(1, 2));
         assert!(runner.run_matrix(&[], 4).is_empty());
+    }
+
+    /// Cells that differ only in `repeats` (the budgeted runner's probe
+    /// fidelity) must never share a memo entry: a probe at 1 repeat
+    /// followed by the full cell must re-simulate, not serve the stale
+    /// one-run result.
+    #[test]
+    fn probe_fidelity_never_serves_stale_cache() {
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let full = small_cell(Workload::TeraSort);
+        let mut probe = full.clone();
+        probe.repeats = 1;
+        let p = runner.run_cell(&probe);
+        assert_eq!(p.runs.len(), 1);
+        let f = runner.run_cell(&full);
+        assert_eq!(runner.cache_hits(), 0, "fidelities must not collide");
+        assert_eq!(f.runs.len(), 2);
+        // The probe's single run is the full cell's first repeat: seeds
+        // are per-repeat, independent of the repeat count.
+        assert_eq!(f.runs[0], p.runs[0]);
+    }
+
+    fn reducer_sweep(reducer_counts: &[u32], repeats: u32) -> Vec<Vec<MatrixCell>> {
+        reducer_counts
+            .iter()
+            .map(|&r| {
+                vec![MatrixCell::new(
+                    Workload::TeraSort,
+                    256 << 20,
+                    HadoopConfig::default().with_reducers(r),
+                    repeats,
+                )]
+            })
+            .collect()
+    }
+
+    fn mean_duration(results: &[CellResult]) -> f64 {
+        results
+            .iter()
+            .map(CellResult::mean_duration_secs)
+            .sum::<f64>()
+            / results.len() as f64
+    }
+
+    #[test]
+    fn budgeted_sweep_eliminates_and_survivors_match_full_runs() {
+        let groups = reducer_sweep(&[1, 2, 4, 8], 2);
+        let budget = SweepBudget {
+            probe_repeats: 1,
+            keep_fraction: 0.5,
+            ..SweepBudget::default()
+        };
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let sweep = runner.run_budgeted(&groups, |_, r| mean_duration(r), &budget, 2);
+        let survivors = sweep.full_fidelity_groups();
+        assert_eq!(survivors.len(), 2, "half eliminated after the probe");
+        let eliminated = sweep
+            .groups
+            .iter()
+            .filter(|g| g.eliminated_round == Some(1))
+            .count();
+        assert_eq!(eliminated, 2);
+        // Survivor results are exactly the unbudgeted cell results.
+        let fresh = Runner::new(ClusterSpec::racks(2, 2));
+        for &g in &survivors {
+            assert_eq!(sweep.groups[g].results, vec![fresh.run_cell(&groups[g][0])]);
+        }
+        // Eliminated groups still carry their probe-fidelity evidence.
+        for g in &sweep.groups {
+            assert_eq!(g.results.len(), 1);
+            assert!(g.fidelity >= 1);
+        }
+    }
+
+    #[test]
+    fn budgeted_sweep_is_deterministic_across_parallelism() {
+        let groups = reducer_sweep(&[1, 2, 4, 8, 16], 2);
+        let budget = SweepBudget {
+            probe_repeats: 1,
+            keep_fraction: 0.5,
+            ..SweepBudget::default()
+        };
+        let serial = Runner::new(ClusterSpec::racks(2, 2)).run_budgeted(
+            &groups,
+            |_, r| mean_duration(r),
+            &budget,
+            1,
+        );
+        let wide = Runner::new(ClusterSpec::racks(2, 2)).run_budgeted(
+            &groups,
+            |_, r| mean_duration(r),
+            &budget,
+            8,
+        );
+        assert_eq!(serial, wide, "elimination folds in canonical order");
+    }
+
+    #[test]
+    fn budgeted_sweep_respects_the_cell_budget() {
+        let groups = reducer_sweep(&[1, 2, 4, 8], 2);
+        let budget = SweepBudget {
+            max_cell_runs: 5,
+            probe_repeats: 1,
+            keep_fraction: 0.5,
+        };
+        let runner = Runner::new(ClusterSpec::racks(2, 2));
+        let sweep = runner.run_budgeted(&groups, |_, r| mean_duration(r), &budget, 2);
+        assert!(sweep.cell_runs <= 5, "budget is a hard ceiling");
+        // Probe round costs 4; only one of the two survivors fits the
+        // last execution slot, and the trim favours the better score.
+        assert!(sweep.cell_runs == 5);
+        assert_eq!(sweep.full_fidelity_groups().len(), 1);
+    }
+
+    #[test]
+    fn empty_groups_are_complete_without_running() {
+        let runner = Runner::new(ClusterSpec::racks(1, 2));
+        let sweep = runner.run_budgeted(&[Vec::new()], |_, _| 0.0, &SweepBudget::default(), 1);
+        assert_eq!(sweep.cell_runs, 0);
+        assert!(sweep.groups[0].full_fidelity);
     }
 }

@@ -24,10 +24,34 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration as StdDuration;
 
+use keddah_obs::{Counter, Obs};
+
 use super::ServeStatus;
 
 /// Shared handle to the serve loop's published status.
 pub type SharedStatus = Arc<Mutex<ServeStatus>>;
+
+/// Request counters for the status endpoint, registered under the
+/// `stream` subsystem. Cheap to clone into the accept loop; the default
+/// value is inert (all counting disabled), which keeps tests that do not
+/// care about metrics one constructor shorter.
+#[derive(Debug, Clone, Default)]
+pub struct HttpStats {
+    requests: Counter,
+    malformed: Counter,
+}
+
+impl HttpStats {
+    /// Registers the endpoint's counters (`stream/http_requests`,
+    /// `stream/http_malformed`) with `obs`.
+    #[must_use]
+    pub fn new(obs: &Obs) -> HttpStats {
+        HttpStats {
+            requests: obs.counter("stream", "http_requests"),
+            malformed: obs.counter("stream", "http_malformed"),
+        }
+    }
+}
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: StdDuration = StdDuration::from_millis(20);
@@ -53,12 +77,19 @@ pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
 }
 
 /// Runs the accept loop until `shutdown` is set. Connection-level errors
-/// are swallowed (a half-closed probe must not kill the daemon).
-pub fn serve_http(listener: TcpListener, status: SharedStatus, shutdown: Arc<AtomicBool>) {
+/// are swallowed (a half-closed probe must not kill the daemon), and a
+/// malformed request line gets a `400` plus a `stream/http_malformed`
+/// bump rather than any chance to disturb the loop.
+pub fn serve_http(
+    listener: TcpListener,
+    status: SharedStatus,
+    shutdown: Arc<AtomicBool>,
+    stats: HttpStats,
+) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle(stream, &status);
+                let _ = handle(stream, &status, &stats);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -68,7 +99,8 @@ pub fn serve_http(listener: TcpListener, status: SharedStatus, shutdown: Arc<Ato
     }
 }
 
-fn handle(mut stream: TcpStream, status: &SharedStatus) -> std::io::Result<()> {
+fn handle(mut stream: TcpStream, status: &SharedStatus, stats: &HttpStats) -> std::io::Result<()> {
+    stats.requests.inc();
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut head = Vec::new();
@@ -85,7 +117,17 @@ fn handle(mut stream: TcpStream, status: &SharedStatus) -> std::io::Result<()> {
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
 
-    let (code, reason, content_type, body) = if method != "GET" {
+    let (code, reason, content_type, body) = if method.is_empty() || !path.starts_with('/') {
+        // Not even an HTTP request line (binary garbage, empty probe, a
+        // request-target that is not origin-form): answer 400 and count.
+        stats.malformed.inc();
+        (
+            400,
+            "Bad Request",
+            "text/plain",
+            "malformed request line\n".to_string(),
+        )
+    } else if method != "GET" {
         (
             405,
             "Method Not Allowed",
@@ -199,10 +241,13 @@ mod tests {
             guard.files = 2;
             guard.metrics_json = "{\"subsystems\":{}}".to_string();
         }
+        let obs = Obs::enabled();
+        let stats = HttpStats::new(&obs);
         let shutdown = Arc::new(AtomicBool::new(false));
         let handle = {
             let (status, shutdown) = (Arc::clone(&status), Arc::clone(&shutdown));
-            std::thread::spawn(move || serve_http(listener, status, shutdown))
+            let stats = stats.clone();
+            std::thread::spawn(move || serve_http(listener, status, shutdown, stats))
         };
 
         let (code, body) = get(addr, "/healthz");
@@ -228,6 +273,21 @@ mod tests {
 
         let (code, _) = get(addr, "/nope");
         assert_eq!(code, 404);
+
+        // Failure mode 3: a garbage request line. The daemon answers 400,
+        // counts it, and keeps serving well-formed requests afterwards.
+        {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(b"\x00\x01\x02 utter nonsense\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 400"), "got: {response}");
+        }
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.as_str()), (200, "ok\n"), "still alive");
+        assert_eq!(obs.metrics().counter("stream", "http_malformed"), 1);
+        assert!(obs.metrics().counter("stream", "http_requests") >= 8);
 
         shutdown.store(true, Ordering::SeqCst);
         handle.join().expect("accept loop exits cleanly");

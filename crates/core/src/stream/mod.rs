@@ -38,9 +38,11 @@
 //! completes.
 
 mod http;
+mod ingest;
 mod tail;
 
-pub use http::{bind, serve_http, SharedStatus};
+pub use http::{bind, serve_http, HttpStats, SharedStatus};
+pub use ingest::{ingest_path, IngestReport};
 pub use tail::DirTailer;
 
 use std::collections::BTreeMap;
@@ -116,6 +118,11 @@ struct ComponentStores {
 /// refits on its `refit_runs` cadence and exposes the current model.
 pub struct StreamEngine {
     opts: StreamOptions,
+    /// Prototype sample store, built (and therefore validated) once in
+    /// [`StreamEngine::new`]; fresh component stores are clones. This is
+    /// what lets the hot path stay panic-free: no re-validation of
+    /// `epsilon` ever happens after startup.
+    store_proto: SampleStore,
     assembler: StreamAssembler,
     last_asm_stats: StreamStats,
     /// Metadata of the first run; later runs must match its workload.
@@ -150,15 +157,18 @@ impl StreamEngine {
     /// Returns a stat error if the sketch epsilon is out of range.
     pub fn new(opts: StreamOptions, obs: &Obs) -> Result<StreamEngine> {
         // Validate epsilon eagerly so a bad flag fails at startup, not at
-        // the first refit.
-        if let SketchMode::Gk { epsilon } = opts.sketch {
-            let _ = SampleStore::sketch(epsilon)?;
-        }
+        // the first refit; the validated store becomes the prototype
+        // every component store is cloned from.
+        let store_proto = match opts.sketch {
+            SketchMode::Exact => SampleStore::exact(),
+            SketchMode::Gk { epsilon } => SampleStore::sketch(epsilon)?,
+        };
         let opts = StreamOptions {
             refit_runs: opts.refit_runs.max(1),
             ..opts
         };
         Ok(StreamEngine {
+            store_proto,
             assembler: StreamAssembler::with_config(StreamConfig {
                 idle_timeout: opts.idle_timeout,
                 max_active: opts.max_active,
@@ -188,12 +198,7 @@ impl StreamEngine {
     }
 
     fn new_store(&self) -> SampleStore {
-        match self.opts.sketch {
-            SketchMode::Exact => SampleStore::exact(),
-            SketchMode::Gk { epsilon } => {
-                SampleStore::sketch(epsilon).expect("epsilon validated in new()")
-            }
-        }
+        self.store_proto.clone()
     }
 
     /// Ingests one already-assembled flow (rotated `.jsonl` trace input).

@@ -68,7 +68,10 @@ impl DirTailer {
             Err(e) => return Err(e),
         };
         for entry in entries {
-            let entry = entry?;
+            // A transient per-entry failure (e.g. a rotation unlinked
+            // between readdir and stat) must not abort the whole poll
+            // and drop the other candidates on the floor.
+            let Ok(entry) = entry else { continue };
             let path = entry.path();
             if self.processed.contains(&path) || !is_capture_file(&path) {
                 continue;

@@ -286,6 +286,42 @@ impl Trace {
         }
         Ok(Trace { meta, flows })
     }
+
+    /// Reads a JSONL trace, tolerating malformed flow lines: good lines
+    /// are kept, bad ones are returned as `(line, message)` rejects
+    /// alongside the trace. This is the reader for live-rotated capture
+    /// files, where the tail of the file may be a half-written record —
+    /// the daemon must ingest the intact prefix and count the damage,
+    /// not die.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the stream is unreadable or the
+    /// *header* is missing or malformed: without valid metadata none of
+    /// the flows can be attributed, so there is nothing to salvage.
+    pub fn read_jsonl_lenient<R: Read>(
+        reader: R,
+    ) -> Result<(Trace, Vec<(usize, String)>), TraceError> {
+        let mut lines = BufReader::new(reader).lines();
+        let header = lines.next().ok_or(TraceError::MissingHeader)??;
+        let meta: TraceMeta = serde_json::from_str(&header).map_err(|e| TraceError::Parse {
+            line: 1,
+            message: e.to_string(),
+        })?;
+        let mut flows = Vec::new();
+        let mut rejects = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<FlowRecord>(&line) {
+                Ok(flow) => flows.push(flow),
+                Err(e) => rejects.push((i + 2, e.to_string())),
+            }
+        }
+        Ok((Trace { meta, flows }, rejects))
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +414,39 @@ mod tests {
             Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    /// Half-written rotations: a truncated trailing record must not cost
+    /// the intact prefix.
+    #[test]
+    fn lenient_read_salvages_good_prefix() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        // Simulate a writer caught mid-record: chop the last line.
+        let cut = buf.len() - 20;
+        let (back, rejects) = Trace::read_jsonl_lenient(&buf[..cut]).unwrap();
+        assert_eq!(back.len(), t.len() - 1, "intact flows survive");
+        assert_eq!(rejects.len(), 1);
+        assert_eq!(rejects[0].0, 5, "the chopped line is reported");
+        // A clean trace round-trips with no rejects.
+        let (clean, none) = Trace::read_jsonl_lenient(&buf[..]).unwrap();
+        assert_eq!(clean, t);
+        assert!(none.is_empty());
+    }
+
+    /// Without a parseable header nothing can be attributed; lenient
+    /// reading still refuses.
+    #[test]
+    fn lenient_read_requires_a_header() {
+        assert!(matches!(
+            Trace::read_jsonl_lenient(&b""[..]),
+            Err(TraceError::MissingHeader)
+        ));
+        assert!(matches!(
+            Trace::read_jsonl_lenient(&b"not json\n"[..]),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

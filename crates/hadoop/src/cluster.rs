@@ -59,8 +59,10 @@ impl ClusterSpec {
         if self.racks == 0 || self.nodes_per_rack == 0 {
             return Err(HadoopError::InvalidConfig("cluster must be non-empty"));
         }
-        if self.nic_bps.is_nan() || self.nic_bps <= 0.0 {
-            return Err(HadoopError::InvalidConfig("nic_bps must be positive"));
+        if !self.nic_bps.is_finite() || self.nic_bps <= 0.0 {
+            return Err(HadoopError::InvalidConfig(
+                "nic_bps must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -109,6 +111,24 @@ impl ClusterSpec {
         self.rack_of(a) == self.rack_of(b)
     }
 
+    /// True if a flow between `a` and `b` leaves its source rack.
+    ///
+    /// Unlike [`ClusterSpec::same_rack`] this never panics: flows that
+    /// touch the master (or an out-of-range node) count as crossing,
+    /// because the master sits outside the worker racks and its traffic
+    /// always traverses the core. This is the classifier the runner uses
+    /// to attribute wire bytes to inter-rack links.
+    #[must_use]
+    pub fn crosses_racks(&self, a: NodeId, b: NodeId) -> bool {
+        let rack = |n: NodeId| {
+            (n.0 >= 1 && n.0 <= self.worker_count()).then(|| (n.0 - 1) / self.nodes_per_rack)
+        };
+        match (rack(a), rack(b)) {
+            (Some(ra), Some(rb)) => ra != rb,
+            _ => true,
+        }
+    }
+
     /// Workers in the given rack.
     pub fn rack_members(&self, rack: u32) -> impl Iterator<Item = NodeId> + '_ {
         let first = rack * self.nodes_per_rack + 1;
@@ -142,6 +162,30 @@ mod tests {
         assert!(!c.same_rack(NodeId(3), NodeId(4)));
         let rack1: Vec<NodeId> = c.rack_members(1).collect();
         assert_eq!(rack1, vec![NodeId(4), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn crossing_classifier_handles_master_and_workers() {
+        let c = ClusterSpec::racks(2, 3);
+        assert!(!c.crosses_racks(NodeId(1), NodeId(2)), "same rack");
+        assert!(c.crosses_racks(NodeId(3), NodeId(4)), "different racks");
+        assert!(c.crosses_racks(NodeId(0), NodeId(1)), "master crosses");
+        assert!(c.crosses_racks(NodeId(5), NodeId(0)), "master crosses");
+        assert!(
+            c.crosses_racks(NodeId(7), NodeId(1)),
+            "out of range crosses"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_infinite_nic() {
+        assert!(ClusterSpec {
+            racks: 1,
+            nodes_per_rack: 1,
+            nic_bps: f64::INFINITY
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

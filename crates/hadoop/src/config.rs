@@ -123,6 +123,13 @@ impl HadoopConfig {
         self
     }
 
+    /// Sets the task slots per worker node (builder style).
+    #[must_use]
+    pub fn with_slots_per_node(mut self, slots_per_node: u32) -> Self {
+        self.slots_per_node = slots_per_node;
+        self
+    }
+
     /// Checks the configuration for validity.
     ///
     /// # Errors
@@ -145,31 +152,33 @@ impl HadoopConfig {
         if self.slots_per_node == 0 {
             return Err(HadoopError::InvalidConfig("slots_per_node must be >= 1"));
         }
-        if self.map_rate_bps.is_nan()
+        if !self.map_rate_bps.is_finite()
             || self.map_rate_bps <= 0.0
-            || self.reduce_rate_bps.is_nan()
+            || !self.reduce_rate_bps.is_finite()
             || self.reduce_rate_bps <= 0.0
         {
             return Err(HadoopError::InvalidConfig(
-                "processing rates must be positive",
+                "processing rates must be positive and finite",
             ));
         }
-        if self.task_overhead_secs < 0.0 {
+        if !self.task_overhead_secs.is_finite() || self.task_overhead_secs < 0.0 {
             return Err(HadoopError::InvalidConfig(
-                "task_overhead_secs must be >= 0",
+                "task_overhead_secs must be finite and >= 0",
             ));
         }
-        if self.nm_heartbeat_secs.is_nan()
+        if !self.nm_heartbeat_secs.is_finite()
             || self.nm_heartbeat_secs <= 0.0
-            || self.umbilical_secs.is_nan()
+            || !self.umbilical_secs.is_finite()
             || self.umbilical_secs <= 0.0
         {
             return Err(HadoopError::InvalidConfig(
-                "heartbeat intervals must be positive",
+                "heartbeat intervals must be positive and finite",
             ));
         }
-        if self.task_noise_sigma < 0.0 {
-            return Err(HadoopError::InvalidConfig("task_noise_sigma must be >= 0"));
+        if !self.task_noise_sigma.is_finite() || self.task_noise_sigma < 0.0 {
+            return Err(HadoopError::InvalidConfig(
+                "task_noise_sigma must be finite and >= 0",
+            ));
         }
         if !(0.0..=1.0).contains(&self.locality_miss) {
             return Err(HadoopError::InvalidConfig(
@@ -280,6 +289,75 @@ mod tests {
         .is_err());
         assert!(HadoopConfig {
             speculation_threshold: 2.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn slots_builder_sets_field() {
+        let c = HadoopConfig::default().with_slots_per_node(8);
+        assert_eq!(c.slots_per_node, 8);
+        c.validate().unwrap();
+    }
+
+    /// The provision search sweeps knobs through arithmetic that can
+    /// produce NaN or infinity; those must be rejected, not simulated.
+    /// (Each of these used to pass: `NaN < 0.0` is false, and the rate
+    /// checks only looked for NaN, letting `inf` through.)
+    #[test]
+    fn validation_rejects_non_finite_values() {
+        assert!(HadoopConfig {
+            map_rate_bps: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            reduce_rate_bps: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            task_overhead_secs: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            task_overhead_secs: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            nm_heartbeat_secs: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            umbilical_secs: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            task_noise_sigma: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            task_noise_sigma: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HadoopConfig {
+            slowstart: f64::NAN,
             ..Default::default()
         }
         .validate()

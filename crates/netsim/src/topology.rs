@@ -221,6 +221,23 @@ impl Topology {
         self.links[link.0 as usize].capacity_bps
     }
 
+    /// Total one-direction capacity of the switching core: the sum over
+    /// switch-to-switch cables of their capacity, each full-duplex cable
+    /// counted once. For a leaf–spine fabric this is the aggregate leaf
+    /// uplink capacity `racks * spines * uplink_bps` — the denominator
+    /// the provisioning search divides predicted cross-rack load by to
+    /// estimate core utilisation. Zero for a star (hosts share one
+    /// switch, there is no core to saturate).
+    #[must_use]
+    pub fn core_capacity_bps(&self) -> f64 {
+        self.links
+            .iter()
+            .filter(|l| l.from >= self.host_count && l.to >= self.host_count)
+            .map(|l| l.capacity_bps)
+            .sum::<f64>()
+            / 2.0
+    }
+
     /// Capacities of every directed link, indexed by link id — the
     /// dense table the fair-share allocator
     /// ([`crate::fair::FairShareState`]) is seeded with.
@@ -436,6 +453,19 @@ mod tests {
         // Non-blocking: 4 hosts x 1 Gb/s over 2 spines = 2 Gb/s uplinks.
         assert!((uplink(&non_blocking) - 2e9).abs() < 1.0);
         assert!((uplink(&non_blocking) / uplink(&oversub) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_capacity_counts_switch_cables_once() {
+        // 4 racks x 2 spines, non-blocking: uplinks carry 4x1 Gb/s / 2
+        // spines = 2 Gb/s, so the core is 4 * 2 * 2 Gb/s = 16 Gb/s.
+        let t = Topology::leaf_spine(4, 4, 2, 1e9, 1.0);
+        assert!((t.core_capacity_bps() - 16e9).abs() < 1.0);
+        // Oversubscribing 4x starves the core by exactly 4x.
+        let o = Topology::leaf_spine(4, 4, 2, 1e9, 4.0);
+        assert!((t.core_capacity_bps() / o.core_capacity_bps() - 4.0).abs() < 1e-9);
+        // A star has no switch-to-switch cables.
+        assert_eq!(Topology::star(8, 1e9).core_capacity_bps(), 0.0);
     }
 
     #[test]

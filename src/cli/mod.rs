@@ -12,6 +12,7 @@ mod inspect;
 mod matrix;
 mod mix;
 mod obs_out;
+mod provision;
 mod replay;
 mod serve;
 mod stats;
@@ -64,6 +65,7 @@ COMMANDS:
     generate   generate synthetic jobs from a model
     mix        generate a multi-tenant workload from a weighted model mix
     replay     replay generated or captured traffic on a topology
+    provision  search cluster/config space for a workload mix + SLO
     serve      tail a capture directory, refit online, serve model over HTTP
     faults     generate and inspect fault schedules for degraded runs
     diagnose   infer the fault behind a degraded run from its artefacts
@@ -94,6 +96,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "generate" => generate::run(&Args::parse(rest)?),
         "mix" => mix::run(&Args::parse(rest)?),
         "replay" => replay::run(&Args::parse(rest)?),
+        "provision" => provision::run(&Args::parse(rest)?),
         "serve" => serve::run(&Args::parse(rest)?),
         "faults" => faults::run(&Args::parse(rest)?),
         "diagnose" => diagnose::run(&Args::parse(rest)?),

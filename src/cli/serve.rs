@@ -12,11 +12,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use keddah_core::stream::{
-    bind, serve_http, shared_status, DirTailer, StreamEngine, StreamOptions,
+    bind, ingest_path, serve_http, shared_status, DirTailer, HttpStats, StreamEngine, StreamOptions,
 };
-use keddah_core::{CoreError, SketchMode};
+use keddah_core::SketchMode;
 use keddah_des::Duration;
-use keddah_flowcap::{tcpdump, Trace, TraceMeta};
+use keddah_flowcap::{tcpdump, TraceMeta};
 use keddah_obs::Obs;
 
 use super::{err, Args, Result};
@@ -150,7 +150,8 @@ pub fn run(args: &Args) -> Result<()> {
 fn run_stdin(engine: &mut StreamEngine, obs: &Obs, workload: &str, args: &Args) -> Result<()> {
     let parsed = tcpdump::read_text_lenient(std::io::stdin().lock())
         .map_err(|e| err(format!("reading stdin: {e}")))?;
-    report_parse_errors(obs, "stdin", &parsed.errors);
+    obs.add("stream", "parse_errors", parsed.errors.len() as u64);
+    print_parse_errors("stdin", &parsed.errors);
     for packet in parsed.packets {
         engine.ingest_packet(packet);
     }
@@ -187,7 +188,8 @@ fn run_daemon(
     let shutdown = Arc::new(AtomicBool::new(false));
     let http_thread = {
         let (status, shutdown) = (Arc::clone(&status), Arc::clone(&shutdown));
-        std::thread::spawn(move || serve_http(listener, status, shutdown))
+        let stats = HttpStats::new(obs);
+        std::thread::spawn(move || serve_http(listener, status, shutdown, stats))
     };
     eprintln!("keddah serve: endpoint http://{addr}, watching {dir}");
 
@@ -203,9 +205,10 @@ fn run_daemon(
             }
         };
         for path in ready {
-            match ingest_file(engine, obs, workload, &path) {
-                Ok(()) => {
+            match ingest_path(engine, obs, workload, &path) {
+                Ok(report) => {
                     files += 1;
+                    print_parse_errors(&path.display().to_string(), &report.parse_errors);
                     eprintln!(
                         "keddah serve: ingested {} (run {}, {} flows total, generation {})",
                         path.display(),
@@ -248,47 +251,6 @@ fn sleep_responsive(ms: u64) {
     }
 }
 
-/// Ingests one rotated file as one run.
-fn ingest_file(
-    engine: &mut StreamEngine,
-    obs: &Obs,
-    workload: &str,
-    path: &std::path::Path,
-) -> Result<()> {
-    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
-    let file = fs::File::open(path).map_err(|e| err(format!("open: {e}")))?;
-    let reader = std::io::BufReader::new(file);
-    let refit = match ext {
-        "jsonl" => {
-            let trace = Trace::read_jsonl(reader).map_err(|e| err(e.to_string()))?;
-            let meta = trace.meta().clone();
-            for flow in trace.into_flows() {
-                engine.ingest_flow(flow);
-            }
-            engine.end_run(&meta)
-        }
-        "txt" => {
-            let parsed = tcpdump::read_text_lenient(reader).map_err(|e| err(e.to_string()))?;
-            report_parse_errors(obs, &path.display().to_string(), &parsed.errors);
-            for packet in parsed.packets {
-                engine.ingest_packet(packet);
-            }
-            engine.end_run(&packet_meta(workload))
-        }
-        other => return Err(err(format!("unsupported capture extension `{other}`"))),
-    };
-    match refit {
-        Ok(_) => Ok(()),
-        // A rejected run (workload mismatch) is an ingest error for this
-        // file; fitting problems on otherwise-good data are too. Both are
-        // reported per-file and the daemon keeps serving the last model.
-        Err(
-            e @ (CoreError::Stream(_) | CoreError::Stat(_) | CoreError::InsufficientData { .. }),
-        ) => Err(err(e.to_string())),
-        Err(e) => Err(err(e.to_string())),
-    }
-}
-
 /// Builds run metadata for packet-text input, which carries no header.
 fn packet_meta(workload: &str) -> TraceMeta {
     TraceMeta {
@@ -297,11 +259,9 @@ fn packet_meta(workload: &str) -> TraceMeta {
     }
 }
 
-fn report_parse_errors(obs: &Obs, source: &str, errors: &[(usize, String)]) {
-    if errors.is_empty() {
-        return;
-    }
-    obs.add("stream", "parse_errors", errors.len() as u64);
+/// Prints skipped-line diagnostics; counting happened where they were
+/// detected ([`ingest_path`] or the stdin path).
+fn print_parse_errors(source: &str, errors: &[(usize, String)]) {
     for (line, message) in errors.iter().take(5) {
         eprintln!("keddah serve: {source}:{line}: {message}");
     }

@@ -433,10 +433,44 @@ fn serve_daemon_end_to_end() {
     assert!(status.contains("200"), "{status}");
     assert_eq!(served, expected, "served model == offline fit");
 
+    // Crash regression: a garbage request line on the endpoint gets a
+    // 400 and the daemon keeps serving.
+    {
+        use std::io::{Read, Write};
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        conn.write_all(b"\x00\x01\x02 not http at all\r\n\r\n")
+            .expect("write garbage");
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read response");
+        assert!(raw.starts_with("HTTP/1.1 400"), "got: {raw}");
+    }
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "alive after garbage: {status}");
+
+    // Crash regression: a half-written rotation (torn final record) is
+    // ingested up to the tear — the run completes, the damage is counted,
+    // and the daemon stays up.
+    let torn = std::fs::read(&trace_files[0]).expect("read trace");
+    let staged = dir.join("cap.2.jsonl");
+    std::fs::write(&staged, &torn[..torn.len() - 25]).expect("write torn rotation");
+    std::fs::rename(&staged, watch.join("cap.2.jsonl")).expect("rotate torn file in");
+    wait_until("generation 3", || {
+        (status_generation(&addr) >= 3).then_some(())
+    });
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(
+        status.contains("200"),
+        "alive after torn rotation: {status}"
+    );
+
     // Metrics endpoint serves a parseable snapshot with stream counters.
     let (_, metrics_body) = http_get(&addr, "/metrics");
     let snap = keddah::obs::MetricsSnapshot::from_json(&metrics_body).expect("metrics parse");
-    assert_eq!(snap.counter("stream", "runs_ingested"), 2);
+    assert_eq!(snap.counter("stream", "runs_ingested"), 3);
+    assert_eq!(snap.counter("stream", "parse_errors"), 1, "the torn record");
+    assert_eq!(snap.counter("stream", "http_malformed"), 1);
     assert!(snap.counter("stream", "flows_completed") > 0);
 
     // SIGTERM: clean shutdown, thread joins Ok, final metrics written.
@@ -454,7 +488,7 @@ fn serve_daemon_end_to_end() {
         &std::fs::read_to_string(&metrics_file).expect("metrics written on shutdown"),
     )
     .expect("final metrics parse");
-    assert_eq!(final_snap.counter("stream", "runs_ingested"), 2);
+    assert_eq!(final_snap.counter("stream", "runs_ingested"), 3);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -474,8 +508,20 @@ fn serve_stdin_one_shot() {
 #[test]
 fn help_everywhere() {
     for cmd in [
-        "capture", "fit", "inspect", "generate", "replay", "validate", "faults", "stats", "matrix",
-        "serve", "mix", "family", "dag",
+        "capture",
+        "fit",
+        "inspect",
+        "generate",
+        "replay",
+        "validate",
+        "faults",
+        "stats",
+        "matrix",
+        "serve",
+        "mix",
+        "family",
+        "dag",
+        "provision",
     ] {
         run(&[cmd, "--help"]).expect("help succeeds");
     }
@@ -928,5 +974,74 @@ fn stats_diff_prints_counter_deltas() {
         degraded.to_str().unwrap(),
     ])
     .expect("stats --diff succeeds");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `keddah provision` end to end: the search runs, writes its report,
+/// and the report passes its own `--check` gate — the same invariant CI
+/// enforces against the committed `EVAL_provision.json`.
+#[test]
+fn provision_searches_and_gates_against_its_own_report() {
+    let dir = tmp_dir("provision");
+    let report_path = dir.join("provision.json");
+    run(&[
+        "provision",
+        "--workloads",
+        "terasort:3,grep:1",
+        "--input-gb",
+        "0.25",
+        "--nodes",
+        "1x4,2x2,2x4",
+        "--oversub",
+        "1,4",
+        "--reducers",
+        "4,8",
+        "--slo-p99",
+        "120",
+        "--jobs",
+        "2",
+        "--out",
+        report_path.to_str().unwrap(),
+    ])
+    .expect("provision search");
+    let report: keddah::core::provision::ProvisionReport =
+        keddah::core::provision::ProvisionReport::load(&report_path).expect("report parses");
+    assert!(
+        report.cells_simulated < report.grid_cells,
+        "budget must bite"
+    );
+    assert!(report.top().is_some(), "a ranked winner");
+
+    run(&[
+        "provision",
+        "--workloads",
+        "terasort:3,grep:1",
+        "--input-gb",
+        "0.25",
+        "--nodes",
+        "1x4,2x2,2x4",
+        "--oversub",
+        "1,4",
+        "--reducers",
+        "4,8",
+        "--slo-p99",
+        "120",
+        "--jobs",
+        "1",
+        "--check",
+        report_path.to_str().unwrap(),
+    ])
+    .expect("gate passes against its own committed report");
+
+    // Flag hygiene: bad inputs are reported, not panicked on.
+    assert!(run(&["provision", "--typo", "1"])
+        .unwrap_err()
+        .contains("unknown flag"));
+    assert!(run(&["provision", "--workloads", "nosuch"])
+        .unwrap_err()
+        .contains("unknown workload"));
+    assert!(run(&["provision", "--nodes", "banana"])
+        .unwrap_err()
+        .contains("RxN"));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -627,3 +627,55 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The matrix runner's memo key must separate configurations that
+    /// differ in any single tunable: a collision would silently serve
+    /// one provisioning candidate the cached results of another.
+    #[test]
+    fn single_field_config_changes_never_collide_in_the_memo_key(
+        reducers in 1u32..64,
+        slowstart in 0.05f64..1.0,
+        slots in 1u32..16,
+        replication in 1u16..6,
+        block_mib in 16u64..512,
+        racks in 1u32..8,
+        nodes_per_rack in 1u32..8,
+    ) {
+        use keddah::core::runner::MatrixCell;
+        use keddah::hadoop::{ClusterSpec, HadoopConfig, Workload};
+
+        let base_config = HadoopConfig::default()
+            .with_reducers(reducers)
+            .with_slowstart(slowstart)
+            .with_slots_per_node(slots)
+            .with_replication(replication)
+            .with_block_bytes(block_mib << 20);
+        let base = MatrixCell::new(Workload::TeraSort, 1 << 30, base_config.clone(), 2)
+            .with_cluster(ClusterSpec::racks(racks, nodes_per_rack));
+        let variants = [
+            base_config.clone().with_reducers(reducers + 1),
+            base_config.clone().with_slowstart((slowstart * 0.5).max(0.01)),
+            base_config.clone().with_slots_per_node(slots + 1),
+            base_config.clone().with_replication(replication + 1),
+            base_config.clone().with_block_bytes((block_mib + 1) << 20),
+        ];
+        for variant in variants {
+            let cell = MatrixCell::new(Workload::TeraSort, 1 << 30, variant, 2)
+                .with_cluster(ClusterSpec::racks(racks, nodes_per_rack));
+            prop_assert!(
+                cell.config_hash() != base.config_hash(),
+                "one-field config change collided"
+            );
+            prop_assert!(cell.key() != base.key(), "memo keys collided");
+        }
+        // The cluster is hashed separately and must separate too.
+        let other_cluster = base
+            .clone()
+            .with_cluster(ClusterSpec::racks(racks, nodes_per_rack + 1));
+        prop_assert!(other_cluster.cluster_hash() != base.cluster_hash());
+        prop_assert!(other_cluster.key() != base.key());
+    }
+}

@@ -1,0 +1,85 @@
+//! Determinism guarantees of `keddah provision`: the ranked report —
+//! and therefore the committed `EVAL_provision.json` artefact — must be
+//! byte-identical for any worker width and across repeats, and the
+//! budgeted search must explore strictly fewer cells than the full grid.
+
+use keddah::core::provision::{provision, ConfigSpace, MixJob, ProvisionRequest, Slo};
+use keddah::core::runner::SweepBudget;
+use keddah::hadoop::{HadoopConfig, Workload};
+use keddah::obs::Obs;
+
+/// The committed-artefact sweep, in miniature: two mix jobs over a
+/// 12-point grid, enough for surrogate pruning and two halving rounds.
+fn request() -> ProvisionRequest {
+    ProvisionRequest {
+        mix: vec![
+            MixJob::new(Workload::TeraSort, 256 << 20, 3.0),
+            MixJob::new(Workload::Grep, 256 << 20, 1.0),
+        ],
+        space: ConfigSpace {
+            nodes: vec![(1, 4), (2, 2), (2, 4)],
+            oversubscription: vec![1.0, 4.0],
+            reducers: vec![4, 8],
+            slowstart: vec![0.8],
+            slots_per_node: vec![2],
+        },
+        base: HadoopConfig::default(),
+        slo: Slo {
+            p99_secs: Some(60.0),
+            max_core_util: Some(0.9),
+        },
+        repeats: 2,
+        budget: SweepBudget {
+            probe_repeats: 1,
+            keep_fraction: 0.5,
+            ..SweepBudget::default()
+        },
+        surrogate_keep: None,
+    }
+}
+
+#[test]
+fn reports_are_identical_across_worker_widths_and_repeats() {
+    let req = request();
+    let serial = provision(&req, 1, &Obs::disabled()).expect("serial search");
+    let wide = provision(&req, 8, &Obs::disabled()).expect("wide search");
+    let again = provision(&req, 8, &Obs::disabled()).expect("repeat search");
+    assert_eq!(serial.to_json(), wide.to_json(), "jobs 1 vs 8");
+    assert_eq!(wide.to_json(), again.to_json(), "same width, repeated");
+}
+
+#[test]
+fn budgeted_search_beats_the_grid_and_pins_the_winner() {
+    let report = provision(&request(), 4, &Obs::disabled()).expect("search");
+    assert!(
+        report.cells_simulated < report.grid_cells,
+        "explored {} of {} grid cells — the budget must bite",
+        report.cells_simulated,
+        report.grid_cells
+    );
+    // Golden winner for this sweep: under a loose SLO the cheapest
+    // feasible shape wins — 4 workers on one rack, oversubscribed core —
+    // with the extra reducers as the free p99 tiebreak.
+    let top = report.top().expect("a ranked winner");
+    assert_eq!(top.key, "1x4 ov4.00 r8 ss0.80 s2", "pinned ranking moved");
+    assert_eq!(top.slo_met, Some(true));
+    assert!(
+        top.rel_error_p99.is_some(),
+        "ranked rows report predicted-vs-simulated error"
+    );
+}
+
+#[test]
+fn cell_budget_caps_exploration_deterministically() {
+    let mut req = request();
+    req.budget.max_cell_runs = 8;
+    let a = provision(&req, 1, &Obs::disabled()).expect("capped search");
+    let b = provision(&req, 8, &Obs::disabled()).expect("capped search wide");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "budget trim must be deterministic"
+    );
+    // Seeds are outside the sweep budget; the sweep itself respects it.
+    assert!(a.cells_simulated <= 8 + (a.seed_keys.len() * 2) as u64);
+}
